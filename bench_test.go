@@ -1,0 +1,181 @@
+// Benchmarks: one per reproduced table/figure (DESIGN.md §4). Each benchmark
+// regenerates its artifact end-to-end — trace synthesis, baseline run,
+// controller-stack runs — at a reduced tick count so `go test -bench=.`
+// finishes in minutes; `cmd/npexp` runs the same experiments at full length.
+// Micro-benchmarks for the hot paths (plant advance, packing, controller
+// ticks) follow the experiment benches.
+package main
+
+import (
+	"testing"
+
+	"nopower/internal/binpack"
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/experiments"
+	"nopower/internal/model"
+	"nopower/internal/tracegen"
+)
+
+// benchOpts keeps one experiment iteration around a second.
+func benchOpts() experiments.Options { return experiments.Options{Ticks: 1200, Seed: 42} }
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunExperiment(name, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (E1): coordinated vs uncoordinated
+// violations and performance loss across the four base configurations.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Fig. 8 (E2): per-controller savings isolation
+// across the six workload mixes and both systems.
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig. 9 (E3): the coordination-interface
+// ablation table.
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10 (E4): the power-budget sweep.
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkPStates regenerates the §5.3 P-state-count study (E5).
+func BenchmarkPStates(b *testing.B) { benchExperiment(b, "pstates") }
+
+// BenchmarkMachineOff regenerates the §5.4 machine-off study (E6).
+func BenchmarkMachineOff(b *testing.B) { benchExperiment(b, "machineoff") }
+
+// BenchmarkMigration regenerates the §5.4 migration-overhead study (E7).
+func BenchmarkMigration(b *testing.B) { benchExperiment(b, "migration") }
+
+// BenchmarkTimeConstants regenerates the §5.4 time-constant study (E8).
+func BenchmarkTimeConstants(b *testing.B) { benchExperiment(b, "timeconst") }
+
+// BenchmarkPolicies regenerates the §5.4 policy study (E9).
+func BenchmarkPolicies(b *testing.B) { benchExperiment(b, "policies") }
+
+// BenchmarkFailover regenerates the §5.1 thermal-failover prototype (E10).
+func BenchmarkFailover(b *testing.B) { benchExperiment(b, "failover") }
+
+// BenchmarkStability regenerates the Appendix-A stability sweeps (E11).
+func BenchmarkStability(b *testing.B) { benchExperiment(b, "stability") }
+
+// BenchmarkMultiSeed regenerates the seed-robustness check (E12).
+func BenchmarkMultiSeed(b *testing.B) { benchExperiment(b, "multiseed") }
+
+// BenchmarkExtensions regenerates the §6.1 extension suite (E13).
+func BenchmarkExtensions(b *testing.B) { benchExperiment(b, "extensions") }
+
+// --- Ablation benches for the design choices DESIGN.md §5 calls out ---
+
+func benchStack(b *testing.B, spec core.Spec, ticks int) {
+	b.Helper()
+	sc := experiments.Scenario{Model: "BladeA", Mix: tracegen.Mix180,
+		Budgets: experiments.Base201510(), Ticks: ticks, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := sc.BuildCluster()
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, _, err := core.Build(cl, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Run(ticks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStackCoordinated measures a full coordinated run (180 servers).
+func BenchmarkStackCoordinated(b *testing.B) { benchStack(b, core.Coordinated(), 1200) }
+
+// BenchmarkStackUncoordinated measures the uncoordinated deployment.
+func BenchmarkStackUncoordinated(b *testing.B) { benchStack(b, core.Uncoordinated(), 1200) }
+
+// BenchmarkStackApparentUtil measures the apparent-utilization ablation.
+func BenchmarkStackApparentUtil(b *testing.B) { benchStack(b, core.CoordinatedApparentUtil(), 1200) }
+
+// BenchmarkStackNoBudgets measures the unconstrained-packer ablation.
+func BenchmarkStackNoBudgets(b *testing.B) { benchStack(b, core.CoordinatedNoBudgetLimits(), 1200) }
+
+// --- Micro-benchmarks for the substrate hot paths ---
+
+func benchCluster(b *testing.B) *cluster.Cluster {
+	b.Helper()
+	set, err := tracegen.BuildMix(tracegen.Mix180, 1000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Enclosures: 6, BladesPerEnclosure: 20, Standalone: 60,
+		Model:     model.BladeA(),
+		CapOffGrp: 0.20, CapOffEnc: 0.15, CapOffLoc: 0.10,
+		AlphaV: 0.10, AlphaM: 0.10, MigrationTicks: 10,
+	}, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cl
+}
+
+// BenchmarkClusterAdvance measures one plant tick for 180 servers.
+func BenchmarkClusterAdvance(b *testing.B) {
+	cl := benchCluster(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Advance(i)
+	}
+}
+
+// BenchmarkBinpack180 measures one VMC packing problem: 180 VMs, 180 bins.
+func BenchmarkBinpack180(b *testing.B) {
+	items := make([]binpack.Item, 180)
+	for i := range items {
+		items[i] = binpack.Item{ID: i, Demand: 0.1 + float64(i%7)*0.05, Current: i}
+	}
+	bins := make([]binpack.Bin, 180)
+	for i := range bins {
+		bins[i] = binpack.Bin{
+			ID: i, Capacity: 0.85, FullCapacity: 1,
+			IdlePower: 60, PowerSlope: 40, PowerBudget: 90,
+			Enclosure: i / 20, On: true,
+		}
+	}
+	enc := map[int]float64{}
+	for e := 0; e < 9; e++ {
+		enc[e] = 1700
+	}
+	p := binpack.Problem{Items: items, Bins: bins, EnclosureBudgets: enc,
+		GroupBudget: 14400, MigrationWeight: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binpack.Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTracegen180 measures synthesizing the full 180-trace mix.
+func BenchmarkTracegen180(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tracegen.BuildMix(tracegen.Mix180, 1000, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkECSteadyPower measures the packer's feasibility-curve evaluation.
+func BenchmarkECSteadyPower(b *testing.B) {
+	m := model.ServerB()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ECSteadyPower(0.75, float64(i%100)/100)
+	}
+}

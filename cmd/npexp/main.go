@@ -1,0 +1,107 @@
+// Command npexp reproduces the paper's evaluation artifacts. Each named
+// experiment regenerates one table or figure (see DESIGN.md §4 for the
+// index); "all" runs the full evaluation and prints every artifact,
+// -markdown renders GitHub-flavored tables suitable for EXPERIMENTS.md, and
+// -json emits one machine-readable document.
+//
+// Usage:
+//
+//	npexp [-ticks N] [-seed S] [-markdown|-json] <experiment>...|all|list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nopower/internal/experiments"
+	"nopower/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("npexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		ticks    = fs.Int("ticks", experiments.DefaultTicks, "simulation length per run in ticks")
+		seed     = fs.Int64("seed", 42, "trace/policy seed")
+		markdown = fs.Bool("markdown", false, "render Markdown tables")
+		jsonOut  = fs.Bool("json", false, "emit one JSON document with every table")
+		quiet    = fs.Bool("q", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	if fs.Arg(0) == "list" {
+		for _, name := range experiments.Names() {
+			fmt.Fprintf(stdout, "  %-12s %s\n", name, experiments.Describe(name))
+		}
+		return 0
+	}
+
+	var names []string
+	for _, arg := range fs.Args() {
+		if arg == "all" {
+			names = append(names, experiments.Names()...)
+			continue
+		}
+		names = append(names, arg)
+	}
+
+	opts := experiments.Options{Ticks: *ticks, Seed: *seed}
+	type namedTables struct {
+		Experiment string          `json:"experiment"`
+		Tables     []*report.Table `json:"tables"`
+	}
+	var all []namedTables
+	for _, name := range names {
+		start := time.Now()
+		tables, err := experiments.RunExperiment(name, opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "npexp %s: %v\n", name, err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "[%s: %.1fs]\n", name, time.Since(start).Seconds())
+		}
+		if *jsonOut {
+			all = append(all, namedTables{Experiment: name, Tables: tables})
+			continue
+		}
+		for _, t := range tables {
+			if *markdown {
+				fmt.Fprintln(stdout, t.Markdown())
+			} else {
+				fmt.Fprintln(stdout, t.String())
+			}
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "npexp:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: npexp [-ticks N] [-seed S] [-markdown|-json] <experiment>...|all|list")
+	fmt.Fprintln(w, "experiments:")
+	for _, name := range experiments.Names() {
+		fmt.Fprintf(w, "  %-12s %s\n", name, experiments.Describe(name))
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestListCommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"fig7", "fig8", "stability", "extensions"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("list missing %q", name)
+		}
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestStabilityText(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-q", "stability"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Appendix A") {
+		t.Errorf("missing table title in %q", out.String())
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("-q still printed progress: %q", errOut.String())
+	}
+}
+
+func TestStabilityMarkdownAndJSON(t *testing.T) {
+	var md, errOut bytes.Buffer
+	if code := run([]string{"-q", "-markdown", "stability"}, &md, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(md.String(), "| Loop |") {
+		t.Error("markdown table missing")
+	}
+
+	var js bytes.Buffer
+	if code := run([]string{"-q", "-json", "stability"}, &js, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var doc []struct {
+		Experiment string `json:"experiment"`
+		Tables     []struct {
+			Title string
+			Rows  [][]string
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc) != 1 || doc[0].Experiment != "stability" || len(doc[0].Tables) == 0 {
+		t.Errorf("JSON shape wrong: %+v", doc)
+	}
+}
+
+// A small real experiment end to end through the CLI (reduced ticks).
+func TestFailoverThroughCLI(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-q", "-ticks", "800", "failover"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Uncoordinated EC+SM") {
+		t.Error("failover table missing rows")
+	}
+}

@@ -1,0 +1,136 @@
+// Command npsim runs one power-management simulation and prints the
+// evaluation metrics: average/peak power, savings versus the
+// no-management baseline, performance loss, and budget-violation rates at
+// the server/enclosure/group levels.
+//
+// Usage:
+//
+//	npsim -model BladeA -mix 180 -stack coordinated -ticks 3000
+//	npsim -traces mine.csv -stack vmlevel -series out.csv
+//
+// Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
+// nobudgets, vmlevel, energydelay, slo, none.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nopower/internal/core"
+	"nopower/internal/experiments"
+	"nopower/internal/metrics"
+	"nopower/internal/trace"
+	"nopower/internal/tracegen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("npsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		modelName = fs.String("model", "BladeA", "hardware model: BladeA or ServerB")
+		mix       = fs.String("mix", "180", "workload mix: 180, 60L, 60M, 60H, 60HH, 60HHH")
+		stack     = fs.String("stack", "coordinated", "controller stack preset")
+		ticks     = fs.Int("ticks", experiments.DefaultTicks, "simulation length in ticks")
+		seed      = fs.Int64("seed", 42, "trace/policy seed")
+		budGrp    = fs.Float64("cap-grp", 0.20, "group budget headroom off max power")
+		budEnc    = fs.Float64("cap-enc", 0.15, "enclosure budget headroom off max power")
+		budLoc    = fs.Float64("cap-loc", 0.10, "local budget headroom off max power")
+		pol       = fs.String("policy", "proportional", "EM/GM division policy")
+		noOff     = fs.Bool("no-off", false, "forbid powering idle machines down")
+		migTicks  = fs.Int("migration-ticks", 10, "migration penalty window")
+		alphaM    = fs.Float64("alpha-m", 0.10, "migration performance overhead")
+		series    = fs.String("series", "", "write a per-tick time-series CSV to this path")
+		stride    = fs.Int("series-stride", 1, "record every Nth tick in the series")
+		traceFile = fs.String("traces", "", "load workloads from a CSV (nptrace format) instead of generating -mix")
+		verbose   = fs.Bool("v", false, "print scenario details")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec, err := core.SpecByName(*stack)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v (stacks: %v)\n", err, core.StackNames())
+		return 2
+	}
+	spec.Policy = *pol
+	spec.AllowOff = spec.AllowOff && !*noOff
+
+	sc := experiments.Scenario{
+		Model:          *modelName,
+		Mix:            tracegen.Mix(*mix),
+		Budgets:        experiments.Budgets{Grp: *budGrp, Enc: *budEnc, Loc: *budLoc},
+		Ticks:          *ticks,
+		Seed:           *seed,
+		MigrationTicks: *migTicks,
+		AlphaM:         *alphaM,
+	}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "traces:", err)
+			return 1
+		}
+		set, err := trace.ReadCSV(f, *traceFile)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "traces:", err)
+			return 1
+		}
+		sc.Traces = set
+	}
+
+	baseline, err := experiments.BaselinePower(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, "baseline:", err)
+		return 1
+	}
+	var recorder *metrics.Series
+	if *series != "" {
+		recorder = &metrics.Series{Stride: *stride}
+	}
+	res, err := experiments.RunRecorded(sc, spec, baseline, recorder)
+	if err != nil {
+		fmt.Fprintln(stderr, "run:", err)
+		return 1
+	}
+	if recorder != nil {
+		f, err := os.Create(*series)
+		if err != nil {
+			fmt.Fprintln(stderr, "series:", err)
+			return 1
+		}
+		if err := recorder.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "series:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "series:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "wrote %d samples to %s\n", recorder.Len(), *series)
+	}
+
+	if *verbose {
+		fmt.Fprintf(stdout, "scenario: model=%s mix=%s budgets=%s ticks=%d seed=%d stack=%s policy=%s\n",
+			*modelName, *mix, sc.Budgets.Label(), *ticks, *seed, *stack, *pol)
+		fmt.Fprintf(stdout, "baseline: %.0f W average (no power management)\n", baseline)
+	}
+	fmt.Fprintf(stdout, "avg power      %8.0f W\n", res.AvgPower)
+	fmt.Fprintf(stdout, "peak power     %8.0f W\n", res.PeakPower)
+	fmt.Fprintf(stdout, "power savings  %8.1f %%\n", 100*res.PowerSavings)
+	fmt.Fprintf(stdout, "perf loss      %8.1f %%\n", 100*res.PerfLoss)
+	fmt.Fprintf(stdout, "viol SM        %8.2f %%\n", 100*res.ViolSM)
+	fmt.Fprintf(stdout, "viol EM        %8.2f %%\n", 100*res.ViolEM)
+	fmt.Fprintf(stdout, "viol GM        %8.2f %%\n", 100*res.ViolGM)
+	fmt.Fprintf(stdout, "servers on     %8.1f\n", res.AvgServersOn)
+	return 0
+}

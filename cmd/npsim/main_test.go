@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownStack(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-stack", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown stack") {
+		t.Errorf("stderr = %q", errOut.String())
+	}
+}
+
+func TestSmallCoordinatedRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mix", "60L", "-ticks", "600", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, frag := range []string{"baseline:", "avg power", "power savings", "servers on"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestSeriesFileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.csv")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mix", "60L", "-ticks", "300", "-series", path, "-series-stride", "50"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 7 { // header + 6 samples (ticks 0,50,...,250)
+		t.Errorf("%d series lines", len(lines))
+	}
+}
+
+func TestCustomTracesFlow(t *testing.T) {
+	// Write a tiny trace file in the nptrace CSV format, then run on it.
+	path := filepath.Join(t.TempDir(), "tr.csv")
+	writeTinyTraces(t, path)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-traces", path, "-ticks", "300", "-stack", "vmconly"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "avg power") {
+		t.Error("metrics missing")
+	}
+	if code := run([]string{"-traces", "/nonexistent.csv"}, &out, &errOut); code != 1 {
+		t.Errorf("missing trace file exit %d", code)
+	}
+}
+
+func writeTinyTraces(t *testing.T, path string) {
+	t.Helper()
+	// 10 flat traces, 300 ticks, written in the nptrace CSV format.
+	var b strings.Builder
+	names := make([]string, 10)
+	classes := make([]string, 10)
+	for i := range names {
+		names[i] = "w"
+		classes[i] = "flat"
+	}
+	b.WriteString(strings.Join(names, ",") + "\n")
+	b.WriteString(strings.Join(classes, ",") + "\n")
+	for k := 0; k < 300; k++ {
+		row := make([]string, 10)
+		for i := range row {
+			row[i] = "0.2"
+		}
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Command nptrace generates, inspects, and exports the synthetic enterprise
+// utilization traces that stand in for the paper's 180 real-world traces
+// (see DESIGN.md §2 for the substitution rationale).
+//
+// Usage:
+//
+//	nptrace gen  -mix 180 -ticks 3000 -seed 42 -o traces.csv
+//	nptrace stat -mix 180 -ticks 3000 -seed 42
+//	nptrace stat -in traces.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nopower/internal/trace"
+	"nopower/internal/tracegen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; split from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mix   = fs.String("mix", "180", "workload mix: 180, 60L, 60M, 60H, 60HH, 60HHH")
+		ticks = fs.Int("ticks", 3000, "trace length in ticks")
+		seed  = fs.Int64("seed", 42, "generation seed")
+		out   = fs.String("o", "", "output CSV path (gen; default stdout)")
+		in    = fs.String("in", "", "input CSV path (stat; default: generate)")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+
+	switch cmd {
+	case "gen":
+		set, err := tracegen.BuildMix(tracegen.Mix(*mix), *ticks, *seed)
+		if err != nil {
+			fmt.Fprintln(stderr, "nptrace:", err)
+			return 1
+		}
+		w := stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(stderr, "nptrace:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := trace.WriteCSV(w, set); err != nil {
+			fmt.Fprintln(stderr, "nptrace:", err)
+			return 1
+		}
+		if *out != "" {
+			fmt.Fprintf(stderr, "wrote %d traces x %d ticks to %s\n", set.Len(), *ticks, *out)
+		}
+		return 0
+	case "stat":
+		var set *trace.Set
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fmt.Fprintln(stderr, "nptrace:", err)
+				return 1
+			}
+			defer f.Close()
+			set, err = trace.ReadCSV(f, *in)
+			if err != nil {
+				fmt.Fprintln(stderr, "nptrace:", err)
+				return 1
+			}
+		} else {
+			var err error
+			set, err = tracegen.BuildMix(tracegen.Mix(*mix), *ticks, *seed)
+			if err != nil {
+				fmt.Fprintln(stderr, "nptrace:", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "set %s: %d traces, %d ticks, mean demand %.3f\n",
+			set.Name, set.Len(), set.Traces[0].Len(), set.MeanDemand())
+		fmt.Fprintf(stdout, "%-22s %-14s %6s %6s %6s %6s %6s\n",
+			"trace", "class", "mean", "p50", "p95", "max", "std")
+		for _, tr := range set.Traces {
+			s := tr.Summarize()
+			fmt.Fprintf(stdout, "%-22s %-14s %6.3f %6.3f %6.3f %6.3f %6.3f\n",
+				tr.Name, tr.Class, s.Mean, s.P50, s.P95, s.Max, s.StdDev)
+		}
+		return 0
+	}
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  nptrace gen  -mix 180 -ticks 3000 -seed 42 [-o out.csv]
+  nptrace stat [-mix 180 -ticks 3000 -seed 42 | -in traces.csv]`)
+}

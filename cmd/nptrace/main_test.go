@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nopower/internal/trace"
+)
+
+func TestUsageOnBadInvocation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit %d", code)
+	}
+	if code := run([]string{"frobnicate"}, &out, &errOut); code != 2 {
+		t.Errorf("bad subcommand exit %d", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestGenToStdoutAndRoundTrip(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"gen", "-mix", "60L", "-ticks", "50", "-seed", "3"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	set, err := trace.ReadCSV(bytes.NewReader(out.Bytes()), "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 60 || set.Traces[0].Len() != 50 {
+		t.Errorf("round trip shape: %d traces x %d", set.Len(), set.Traces[0].Len())
+	}
+}
+
+func TestGenToFileAndStatIn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tr.csv")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"gen", "-mix", "60L", "-ticks", "40", "-o", path}, &out, &errOut); code != 0 {
+		t.Fatalf("gen exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "wrote 60 traces") {
+		t.Errorf("gen confirmation missing: %q", errOut.String())
+	}
+	out.Reset()
+	if code := run([]string{"stat", "-in", path}, &out, &errOut); code != 0 {
+		t.Fatalf("stat exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "60 traces, 40 ticks") {
+		t.Errorf("stat header missing: %q", out.String())
+	}
+	if !strings.Contains(out.String(), "web-") {
+		t.Error("per-trace rows missing")
+	}
+}
+
+func TestStatGenerated(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"stat", "-mix", "60M", "-ticks", "60"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "mean demand") {
+		t.Error("summary line missing")
+	}
+}
+
+func TestGenUnknownMix(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"gen", "-mix", "bogus"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown mix exit %d", code)
+	}
+	if code := run([]string{"stat", "-in", "/nonexistent/file.csv"}, &out, &errOut); code != 1 {
+		t.Errorf("missing file exit %d", code)
+	}
+}

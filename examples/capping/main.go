@@ -1,0 +1,86 @@
+// Capping: the paper's §5.1 lab-prototype scenario — one server under
+// sustained high load with both an efficiency controller (EC) and a server
+// manager (SM) deployed. Coordinated, the SM steers the EC's utilization
+// target and the power stays bounded near the thermal budget; uncoordinated,
+// the two controllers fight over the P-state and the budget violation
+// persists — the road to thermal failover.
+//
+// Run with:
+//
+//	go run ./examples/capping
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/trace"
+)
+
+const ticks = 400
+
+func main() {
+	fmt.Println("one BladeA server, sustained ~100% load, 90 W thermal budget")
+	fmt.Println()
+	run("coordinated   (SM steers the EC's r_ref)", true)
+	fmt.Println()
+	run("uncoordinated (SM and EC both write the P-state)", false)
+}
+
+func run(label string, coordinated bool) {
+	// A single saturating workload.
+	demand := make([]float64, ticks)
+	for i := range demand {
+		demand[i] = 1.05
+	}
+	set := &trace.Set{Name: "hot", Traces: []*trace.Trace{
+		{Name: "load", Class: "synthetic", Demand: demand},
+	}}
+	cl, err := cluster.New(cluster.Config{
+		Standalone: 1,
+		Model:      model.BladeA(),
+		CapOffGrp:  0.20, CapOffEnc: 0.15, CapOffLoc: 0.10,
+		AlphaV: 0.10, AlphaM: 0.10, MigrationTicks: 10,
+	}, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := core.Spec{
+		EnableEC: true, EnableSM: true,
+		Coordinated: coordinated,
+		Periods:     core.DefaultPeriods(),
+	}
+	engine, _, err := core.Build(cl, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := cl.Servers[0]
+	over := 0
+	fmt.Printf("%s\n", label)
+	fmt.Printf("  budget %.0f W; power trace (one char per 10 ticks, # = over budget):\n  ", s.StaticCap)
+	var bar strings.Builder
+	for k := 0; k < ticks; k++ {
+		if _, err := engine.Run(1); err != nil {
+			log.Fatal(err)
+		}
+		if s.Power > s.StaticCap {
+			over++
+		}
+		if k%10 == 9 {
+			if s.Power > s.StaticCap {
+				bar.WriteByte('#')
+			} else {
+				bar.WriteByte('.')
+			}
+		}
+	}
+	fmt.Println(bar.String())
+	fmt.Printf("  over budget %.0f%% of the time; final state P%d at %.0f W\n",
+		100*float64(over)/ticks, s.PState, s.Power)
+}

@@ -1,0 +1,101 @@
+// Consolidation: the VM controller following a diurnal load curve. Over a
+// synthetic day the VMC packs VMs onto few machines at night, spreads them
+// during the business-hours peak, and keeps the group under its power budget
+// throughout — while the naive (apparent-utilization, budget-blind)
+// consolidator either misses savings or tramples the budget.
+//
+// Run with:
+//
+//	go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/tracegen"
+)
+
+const (
+	ticksPerDay = 600
+	days        = 3
+	ticks       = ticksPerDay * days
+)
+
+func main() {
+	fmt.Printf("30 diurnal workloads on 30 BladeA servers, %d synthetic days\n\n", days)
+	coordRes := run("coordinated VMC (real util, budget constraints, feedback)", core.Coordinated())
+	fmt.Println()
+	naiveSpec := core.Uncoordinated()
+	naiveRes := run("naive VMC (apparent util, no budget awareness)", naiveSpec)
+	fmt.Println()
+	fmt.Printf("summary: coordinated %.1f%% savings with %.1f%% group violations;\n",
+		100*coordRes.save, 100*coordRes.violGM)
+	fmt.Printf("         naive       %.1f%% savings with %.1f%% group violations\n",
+		100*naiveRes.save, 100*naiveRes.violGM)
+}
+
+type outcome struct {
+	save, violGM float64
+}
+
+func run(label string, spec core.Spec) outcome {
+	traces, err := tracegen.Generate(30, tracegen.Params{
+		Ticks: ticks, TicksPerDay: ticksPerDay, Seed: 11, Level: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := func() (*cluster.Cluster, error) {
+		return cluster.New(cluster.Config{
+			Enclosures:         1,
+			BladesPerEnclosure: 20,
+			Standalone:         10,
+			Model:              model.BladeA(),
+			CapOffGrp:          0.20, CapOffEnc: 0.15, CapOffLoc: 0.10,
+			AlphaV: 0.10, AlphaM: 0.10, MigrationTicks: 10,
+		}, traces)
+	}
+	cl, err := build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	baselinePower := 0.0
+	{
+		// Baseline: everything on at P0 (fresh cluster, no controllers).
+		bcl, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for k := 0; k < ticks; k++ {
+			bcl.Advance(k)
+			baselinePower += bcl.GroupPower / ticks
+		}
+	}
+
+	spec.Periods.VMC = 100 // repack a few times per synthetic day
+	engine, handles, err := core.Build(cl, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(label)
+	fmt.Println("  servers on over time (sampled every 50 ticks):")
+	fmt.Print("  ")
+	for k := 0; k < ticks; k++ {
+		if _, err := engine.Run(1); err != nil {
+			log.Fatal(err)
+		}
+		if k%50 == 49 {
+			fmt.Printf("%2d ", cl.OnCount())
+		}
+	}
+	fmt.Println()
+	res := engine.Collector.Finalize(baselinePower)
+	fmt.Printf("  savings %.1f%%, perf loss %.1f%%, migrations %d, group violations %.1f%%\n",
+		100*res.PowerSavings, 100*res.PerfLoss, handles.VMC.Migrations(), 100*res.ViolGM)
+	return outcome{save: res.PowerSavings, violGM: res.ViolGM}
+}

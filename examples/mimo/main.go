@@ -1,0 +1,62 @@
+// MIMO: the paper's §6.1 component/platform coordination sketch, running. A
+// server is three power-manageable components — CPU, memory, disk — coupled
+// by the bottleneck law; capping it well means co-selecting states: there is
+// no point keeping memory at full speed when the budget has forced the CPU
+// below memory's effective ceiling. The example contrasts the MIMO capper
+// against a CPU-only capper across tightening budgets.
+//
+// Run with:
+//
+//	go run ./examples/mimo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nopower/internal/platform"
+)
+
+func main() {
+	p := platform.Standard()
+	demand := platform.Demand{0.45, 0.2, 0.1} // CPU-heavy web-style load
+
+	fmt.Println("three-component platform (CPU 5 states, mem 3, disk 2)")
+	fmt.Printf("demand cpu/mem/disk = %.2f/%.2f/%.2f; max power %.0f W\n\n",
+		demand[0], demand[1], demand[2], p.MaxPower())
+	fmt.Printf("%-10s  %-22s  %-22s\n", "budget", "CPU-only capper", "MIMO capper")
+	fmt.Printf("%-10s  %-22s  %-22s\n", "", "served / power", "served / power")
+
+	for _, frac := range []float64{1.0, 0.8, 0.6, 0.5, 0.45} {
+		budget := frac * p.MaxPower()
+
+		// Naive: mem/disk pinned at full state; throttle only the CPU.
+		naiveServed, naivePower := -1.0, 0.0
+		for cpu := range p.Components[0].States {
+			served, power, err := p.Evaluate([]int{cpu, 0, 0}, demand)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if power <= budget && served > naiveServed {
+				naiveServed, naivePower = served, power
+			}
+		}
+		naive := "infeasible"
+		if naiveServed >= 0 {
+			naive = fmt.Sprintf("%5.1f%% / %5.1f W", 100*naiveServed, naivePower)
+		}
+
+		_, served, power, ok, err := p.Optimize(demand, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mimo := fmt.Sprintf("%5.1f%% / %5.1f W", 100*served, power)
+		if !ok {
+			mimo += " (max throttle)"
+		}
+		fmt.Printf("%-10.0f  %-22s  %-22s\n", budget, naive, mimo)
+	}
+	fmt.Println("\nthe MIMO capper harvests idle mem/disk states first, so it serves more")
+	fmt.Println("work at every budget the CPU-only capper can meet — and keeps degrading")
+	fmt.Println("gracefully past the point where CPU-only capping goes infeasible.")
+}

@@ -1,0 +1,101 @@
+// Multitier: consolidation under correlated demand. The paper's trace corpus
+// includes multi-tier applications (§4.3) whose tiers peak together — which
+// matters to the VMC, because the "statistical load variations" the capping
+// controllers rely on vanish when co-located workloads are correlated.
+// This example packs the same aggregate demand twice: as independent
+// workloads and as three-tier stacks, and compares the achievable savings
+// and the performance risk.
+//
+// Run with:
+//
+//	go run ./examples/multitier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/sim"
+	"nopower/internal/trace"
+	"nopower/internal/tracegen"
+)
+
+const ticks = 3000
+
+func main() {
+	independent, err := tracegen.Generate(30, tracegen.Params{Ticks: ticks, Seed: 17, Level: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tiered, err := tracegen.GenerateMultiTier(10, nil, tracegen.Params{Ticks: ticks, Seed: 17, Level: 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("30 workloads on 30 BladeA servers, coordinated stack")
+	fmt.Printf("%-22s %-12s %-12s %-12s %-10s\n", "corpus", "mean demand", "savings", "perf loss", "servers on")
+	indep := runOne("independent mix", independent)
+	tier := runOne("3-tier stacks (x10)", tiered)
+
+	fmt.Println()
+	fmt.Println("tiers of one stack peak together (within-stack correlation >0.8), which")
+	fmt.Println("would defeat statistical multiplexing IF they were co-located. the packer,")
+	fmt.Println("placing by estimated demand alone, freely mixes tiers of different stacks —")
+	if tier.save >= indep.save-0.02 && tier.perf <= indep.perf+0.02 {
+		fmt.Println("and indeed recovers the multiplexing: the tiered corpus consolidates as")
+		fmt.Println("well as the independent one. correlation only bites when placement is")
+		fmt.Println("constrained (affinity rules, small clusters).")
+	} else {
+		fmt.Println("but this run still paid for the correlation: fewer consolidation wins or")
+		fmt.Println("more performance risk on the tiered corpus.")
+	}
+}
+
+type outcome struct{ save, perf float64 }
+
+func runOne(label string, set *trace.Set) outcome {
+	build := func() (*cluster.Cluster, error) {
+		return cluster.New(cluster.Config{
+			Enclosures:         1,
+			BladesPerEnclosure: 20,
+			Standalone:         10,
+			Model:              model.BladeA(),
+			CapOffGrp:          0.20, CapOffEnc: 0.15, CapOffLoc: 0.10,
+			AlphaV: 0.10, AlphaM: 0.10, MigrationTicks: 10,
+		}, cloneSet(set))
+	}
+	baseline, err := sim.Baseline(build, ticks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, _, err := core.Build(cl, core.Coordinated())
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := engine.Run(ticks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := col.Finalize(baseline)
+	fmt.Printf("%-22s %-12.3f %-12s %-12s %-10.1f\n",
+		label, set.MeanDemand(),
+		fmt.Sprintf("%.1f%%", 100*res.PowerSavings),
+		fmt.Sprintf("%.1f%%", 100*res.PerfLoss),
+		res.AvgServersOn)
+	return outcome{save: res.PowerSavings, perf: res.PerfLoss}
+}
+
+func cloneSet(set *trace.Set) *trace.Set {
+	out := &trace.Set{Name: set.Name}
+	for _, tr := range set.Traces {
+		out.Traces = append(out.Traces, tr.Clone())
+	}
+	return out
+}

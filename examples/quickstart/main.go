@@ -1,0 +1,79 @@
+// Quickstart: build a small data center, run the paper's coordinated
+// power-management stack over synthetic enterprise workloads, and compare it
+// against a no-management baseline.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/sim"
+	"nopower/internal/tracegen"
+)
+
+func main() {
+	const ticks = 2000
+
+	// 1. Synthesize a workload mix: 24 enterprise traces (web, database,
+	//    e-commerce, remote desktop, batch), reproducible from the seed.
+	traces, err := tracegen.Generate(24, tracegen.Params{Ticks: ticks, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the plant: one 20-blade enclosure plus 4 standalone servers,
+	//    all low-power blades, with the paper's base 20-15-10 power budgets.
+	build := func() (*cluster.Cluster, error) {
+		return cluster.New(cluster.Config{
+			Enclosures:         1,
+			BladesPerEnclosure: 20,
+			Standalone:         4,
+			Model:              model.BladeA(),
+			CapOffGrp:          0.20, // group budget: 20 % below max draw
+			CapOffEnc:          0.15,
+			CapOffLoc:          0.10,
+			AlphaV:             0.10, // virtualization overhead
+			AlphaM:             0.10, // migration penalty
+			MigrationTicks:     10,
+		}, traces)
+	}
+
+	// 3. Measure the baseline: everything on at full speed, no controllers.
+	baseline, err := sim.Baseline(build, ticks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (no power management): %.0f W average\n\n", baseline)
+
+	// 4. Run the coordinated stack: EC + SM + EM + GM + VMC, wired per the
+	//    paper (r_ref channel, min-rule budgets, real utilization, feedback).
+	cl, err := build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, handles, err := core.Build(cl, core.Coordinated())
+	if err != nil {
+		log.Fatal(err)
+	}
+	collector, err := engine.Run(ticks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := collector.Finalize(baseline)
+
+	fmt.Println("coordinated stack:")
+	fmt.Printf("  average power    %7.0f W\n", res.AvgPower)
+	fmt.Printf("  power savings    %7.1f %%\n", 100*res.PowerSavings)
+	fmt.Printf("  performance loss %7.1f %%\n", 100*res.PerfLoss)
+	fmt.Printf("  budget violations (server/enclosure/group) %.1f / %.1f / %.1f %%\n",
+		100*res.ViolSM, 100*res.ViolEM, 100*res.ViolGM)
+	fmt.Printf("  servers on       %7.1f of %d\n", res.AvgServersOn, len(cl.Servers))
+	fmt.Printf("  VM migrations    %7d\n", handles.VMC.Migrations())
+}

@@ -1,0 +1,3 @@
+module nopower
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package binpack provides the greedy constrained 0-1 packing the paper's
+// VM controller uses to approximate its optimization problem (Fig. 6, eqs.
+// VMCs): map n VMs onto m servers minimizing estimated total power plus a
+// migration penalty, subject to per-server capacity and per-server /
+// per-enclosure / group power-budget constraints.
+//
+// The algorithm is greedy best-fit decreasing: items in decreasing demand,
+// each placed on the feasible bin with the lowest marginal cost, where the
+// marginal cost is the estimated power increase plus the migration weight if
+// the bin differs from the item's current host. High idle power makes the
+// marginal cost of opening an empty bin large, so the greedy naturally
+// consolidates — the paper's "greedy bin-packing algorithm ... an
+// approximation of the optimal solution".
+package binpack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is one VM to place.
+type Item struct {
+	// ID identifies the item (VM index).
+	ID int
+	// Demand is the estimated resource demand in full-speed server units,
+	// including the virtualization overhead (1+α_V).
+	Demand float64
+	// Current is the bin the item occupies now (-1 if unplaced); staying
+	// costs no migration.
+	Current int
+}
+
+// Bin is one candidate server.
+type Bin struct {
+	// ID identifies the bin (server index).
+	ID int
+	// Capacity is the usable compute capacity in full-speed units (the
+	// packing limit, typically a fraction of FullCapacity).
+	Capacity float64
+	// FullCapacity is the bin's physical full-speed capacity, used to
+	// convert load to utilization for the power estimate. Zero defaults to
+	// Capacity.
+	FullCapacity float64
+	// IdlePower is the draw of the (powered-on) empty bin at full frequency.
+	IdlePower float64
+	// PowerSlope is Watts per unit load (linear P0 model: idle + slope·r).
+	PowerSlope float64
+	// PowerBudget is the effective power cap for this bin; +Inf disables it.
+	PowerBudget float64
+	// Enclosure groups bins for the enclosure budget; -1 = standalone.
+	Enclosure int
+	// On reports whether the machine is currently powered (informational;
+	// cost already reflects it through idle power of newly opened bins).
+	On bool
+}
+
+// Problem bundles one packing instance.
+type Problem struct {
+	Items []Item
+	Bins  []Bin
+	// EnclosureBudgets caps the summed estimated power per enclosure ID;
+	// missing entries are unconstrained.
+	EnclosureBudgets map[int]float64
+	// GroupBudget caps total estimated power; <= 0 disables it.
+	GroupBudget float64
+	// MigrationWeight is the objective cost (in Watts-equivalents) of moving
+	// an item off its current bin — the α_M term of eq. (1).
+	MigrationWeight float64
+	// DelayWeight adds an energy-delay-style term to the objective: each
+	// bin contributes DelayWeight · r² (r = load/full capacity), penalizing
+	// dense packing in proportion to the queueing-delay growth it causes.
+	// Zero (the default) keeps the paper's pure-power objective; positive
+	// values implement the §6.1 extension (6) trade-off.
+	DelayWeight float64
+}
+
+// Result is the packing outcome.
+type Result struct {
+	// Assignment maps item index -> bin index (into Problem.Bins).
+	Assignment []int
+	// Migrations counts items placed away from their current bin.
+	Migrations int
+	// Unplaced counts items that fit no feasible bin and were left on their
+	// current bin (constraint violations possible there).
+	Unplaced int
+	// EstimatedPower is the projected draw of the chosen placement, counting
+	// only opened bins.
+	EstimatedPower float64
+	// OpenBins counts bins that host at least one item.
+	OpenBins int
+}
+
+// state tracks incremental loads during the greedy pass.
+type state struct {
+	load     []float64 // per bin
+	open     []bool
+	encPower map[int]float64
+	grpPower float64
+}
+
+// Solve runs the greedy placement. It is deterministic.
+func Solve(p Problem) (*Result, error) {
+	if len(p.Bins) == 0 {
+		return nil, fmt.Errorf("binpack: no bins")
+	}
+	binIdx := make(map[int]int, len(p.Bins)) // bin ID -> index
+	for i, b := range p.Bins {
+		if b.Capacity <= 0 {
+			return nil, fmt.Errorf("binpack: bin %d capacity %v", b.ID, b.Capacity)
+		}
+		if _, dup := binIdx[b.ID]; dup {
+			return nil, fmt.Errorf("binpack: duplicate bin ID %d", b.ID)
+		}
+		binIdx[b.ID] = i
+	}
+
+	order := make([]int, len(p.Items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Items[order[a]].Demand > p.Items[order[b]].Demand
+	})
+
+	st := &state{
+		load:     make([]float64, len(p.Bins)),
+		open:     make([]bool, len(p.Bins)),
+		encPower: make(map[int]float64),
+	}
+	res := &Result{Assignment: make([]int, len(p.Items))}
+	for i := range res.Assignment {
+		res.Assignment[i] = -1
+	}
+
+	for _, itemIdx := range order {
+		item := p.Items[itemIdx]
+		best, bestCost := -1, math.Inf(1)
+		for bi := range p.Bins {
+			cost, ok := p.marginalCost(st, bi, item)
+			if !ok {
+				continue
+			}
+			if cost < bestCost-1e-12 {
+				best, bestCost = bi, cost
+			}
+		}
+		if best < 0 {
+			// Nothing feasible: leave the item where it is (or on bin 0 if
+			// it has no current host) and account for the load anyway so
+			// later decisions see the truth.
+			res.Unplaced++
+			best = 0
+			if cur, ok := binIdx[item.Current]; ok {
+				best = cur
+			}
+		}
+		p.place(st, best, item)
+		res.Assignment[itemIdx] = best
+		if p.Bins[best].ID != item.Current {
+			res.Migrations++
+		}
+	}
+
+	for bi, b := range p.Bins {
+		if st.open[bi] {
+			res.OpenBins++
+			res.EstimatedPower += estPower(b, st.load[bi])
+		}
+	}
+	return res, nil
+}
+
+// estPower projects a bin's draw at a hypothetical load.
+func estPower(b Bin, load float64) float64 {
+	full := b.FullCapacity
+	if full <= 0 {
+		full = b.Capacity
+	}
+	r := load / full
+	if r > 1 {
+		r = 1
+	}
+	return b.IdlePower + b.PowerSlope*r
+}
+
+// marginalCost returns the objective increase of placing item on bin index
+// bi, or ok=false if any constraint would be violated.
+func (p Problem) marginalCost(st *state, bi int, item Item) (float64, bool) {
+	b := p.Bins[bi]
+	newLoad := st.load[bi] + item.Demand
+	if newLoad > b.Capacity+1e-12 {
+		return 0, false
+	}
+	oldPower := 0.0
+	if st.open[bi] {
+		oldPower = estPower(b, st.load[bi])
+	}
+	newPower := estPower(b, newLoad)
+	delta := newPower - oldPower
+
+	if newPower > b.PowerBudget+1e-12 {
+		return 0, false
+	}
+	if budget, has := p.EnclosureBudgets[b.Enclosure]; has && b.Enclosure >= 0 {
+		if st.encPower[b.Enclosure]+delta > budget+1e-12 {
+			return 0, false
+		}
+	}
+	if p.GroupBudget > 0 && st.grpPower+delta > p.GroupBudget+1e-12 {
+		return 0, false
+	}
+
+	cost := delta
+	if p.DelayWeight > 0 {
+		cost += p.DelayWeight * (sq(utilOf(b, newLoad)) - sq(utilOf(b, st.load[bi])))
+	}
+	if b.ID != item.Current {
+		cost += p.MigrationWeight
+	}
+	return cost, true
+}
+
+func utilOf(b Bin, load float64) float64 {
+	full := b.FullCapacity
+	if full <= 0 {
+		full = b.Capacity
+	}
+	r := load / full
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+func sq(v float64) float64 { return v * v }
+
+// place commits an item to a bin and updates the running totals.
+func (p Problem) place(st *state, bi int, item Item) {
+	b := p.Bins[bi]
+	oldPower := 0.0
+	if st.open[bi] {
+		oldPower = estPower(b, st.load[bi])
+	}
+	st.load[bi] += item.Demand
+	st.open[bi] = true
+	delta := estPower(b, st.load[bi]) - oldPower
+	if b.Enclosure >= 0 {
+		st.encPower[b.Enclosure] += delta
+	}
+	st.grpPower += delta
+}

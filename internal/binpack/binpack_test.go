@@ -1,0 +1,304 @@
+package binpack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// stdBin builds a BladeA-like bin: idle 60 W, slope 40 W, capacity 0.85.
+func stdBin(id, enclosure int, budget float64) Bin {
+	return Bin{
+		ID: id, Capacity: 0.85, FullCapacity: 1.0,
+		IdlePower: 60, PowerSlope: 40,
+		PowerBudget: budget, Enclosure: enclosure, On: true,
+	}
+}
+
+func bins(n int, budget float64) []Bin {
+	out := make([]Bin, n)
+	for i := range out {
+		out[i] = stdBin(i, -1, budget)
+	}
+	return out
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := Solve(Problem{Bins: []Bin{{ID: 0, Capacity: 0}}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := Solve(Problem{Bins: []Bin{stdBin(1, -1, 100), stdBin(1, -1, 100)}}); err == nil {
+		t.Error("duplicate bin IDs accepted")
+	}
+}
+
+func TestConsolidatesOntoFewBins(t *testing.T) {
+	items := make([]Item, 8)
+	for i := range items {
+		items[i] = Item{ID: i, Demand: 0.2, Current: i}
+	}
+	res, err := Solve(Problem{Items: items, Bins: bins(8, math.Inf(1)), MigrationWeight: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 * 0.2 = 1.6 demand fits in 2 bins of capacity 0.85.
+	if res.OpenBins != 2 {
+		t.Errorf("OpenBins = %d, want 2", res.OpenBins)
+	}
+	if res.Unplaced != 0 {
+		t.Errorf("Unplaced = %d", res.Unplaced)
+	}
+}
+
+func TestRespectsCapacity(t *testing.T) {
+	items := []Item{{ID: 0, Demand: 0.5, Current: 0}, {ID: 1, Demand: 0.5, Current: 0}}
+	res, err := Solve(Problem{Items: items, Bins: bins(3, math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("two 0.5 items on one 0.85 bin")
+	}
+}
+
+func TestRespectsLocalPowerBudget(t *testing.T) {
+	// Budget 80 W: idle 60 + 40r <= 80 -> r <= 0.5 -> load <= 0.5.
+	items := []Item{{ID: 0, Demand: 0.4, Current: 0}, {ID: 1, Demand: 0.4, Current: 0}}
+	res, err := Solve(Problem{Items: items, Bins: bins(2, 80)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("budget-violating co-location")
+	}
+	if res.Unplaced != 0 {
+		t.Errorf("Unplaced = %d", res.Unplaced)
+	}
+}
+
+func TestRespectsEnclosureBudget(t *testing.T) {
+	// Two bins in enclosure 0 with a shared budget that admits only one
+	// loaded bin; a third standalone bin takes the spillover.
+	bs := []Bin{stdBin(0, 0, math.Inf(1)), stdBin(1, 0, math.Inf(1)), stdBin(2, -1, math.Inf(1))}
+	items := []Item{{ID: 0, Demand: 0.5, Current: 0}, {ID: 1, Demand: 0.5, Current: 1}}
+	res, err := Solve(Problem{
+		Items: items, Bins: bs,
+		EnclosureBudgets: map[int]float64{0: 90}, // one ~80 W bin fits, two don't
+		MigrationWeight:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inEnc := 0
+	for _, a := range res.Assignment {
+		if bs[a].Enclosure == 0 {
+			inEnc++
+		}
+	}
+	if inEnc != 1 {
+		t.Errorf("%d items in the constrained enclosure, want 1", inEnc)
+	}
+}
+
+func TestRespectsGroupBudget(t *testing.T) {
+	// Group budget admits one opened bin (~76 W) but not two (>120 W).
+	items := []Item{{ID: 0, Demand: 0.4, Current: 0}, {ID: 1, Demand: 0.5, Current: 1}}
+	res, err := Solve(Problem{Items: items, Bins: bins(4, math.Inf(1)), GroupBudget: 110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.4+0.5 = 0.9 > capacity 0.85, so they cannot share; the group budget
+	// forbids a second bin -> one item is unplaced.
+	if res.Unplaced != 1 {
+		t.Errorf("Unplaced = %d, want 1", res.Unplaced)
+	}
+}
+
+func TestMigrationWeightKeepsItemsHome(t *testing.T) {
+	// Two items on separate bins; consolidation would save ~55 W (one idle),
+	// so a small migration weight allows it and a huge one forbids it.
+	items := []Item{{ID: 0, Demand: 0.3, Current: 0}, {ID: 1, Demand: 0.3, Current: 1}}
+	cheap, err := Solve(Problem{Items: items, Bins: bins(2, math.Inf(1)), MigrationWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cheap.Migrations != 1 || cheap.OpenBins != 1 {
+		t.Errorf("cheap migration: %d moves, %d bins", cheap.Migrations, cheap.OpenBins)
+	}
+	sticky, err := Solve(Problem{Items: items, Bins: bins(2, math.Inf(1)), MigrationWeight: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sticky.Migrations != 0 || sticky.OpenBins != 2 {
+		t.Errorf("sticky migration: %d moves, %d bins", sticky.Migrations, sticky.OpenBins)
+	}
+}
+
+func TestUnplacedFallsBackToCurrentBin(t *testing.T) {
+	items := []Item{{ID: 0, Demand: 2.0, Current: 1}} // fits nowhere
+	res, err := Solve(Problem{Items: items, Bins: bins(3, math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unplaced != 1 {
+		t.Fatalf("Unplaced = %d", res.Unplaced)
+	}
+	if res.Assignment[0] != 1 {
+		t.Errorf("fallback bin = %d, want current bin 1", res.Assignment[0])
+	}
+	if res.Migrations != 0 {
+		t.Errorf("fallback counted as migration")
+	}
+}
+
+func TestEstimatedPowerAccounting(t *testing.T) {
+	items := []Item{{ID: 0, Demand: 0.4, Current: 0}}
+	res, err := Solve(Problem{Items: items, Bins: bins(2, math.Inf(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 60 + 40*0.4 // one open bin at r = 0.4/1.0
+	if math.Abs(res.EstimatedPower-want) > 1e-9 {
+		t.Errorf("EstimatedPower = %v, want %v", res.EstimatedPower, want)
+	}
+	if res.OpenBins != 1 {
+		t.Errorf("OpenBins = %d", res.OpenBins)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([]Item, 40)
+	for i := range items {
+		items[i] = Item{ID: i, Demand: 0.05 + 0.4*rng.Float64(), Current: i % 20}
+	}
+	p := Problem{Items: items, Bins: bins(20, 95), MigrationWeight: 5}
+	a, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("nondeterministic at item %d", i)
+		}
+	}
+}
+
+func TestLargerDemandPlacedFirst(t *testing.T) {
+	// A big item and small items competing for one tight bin: the big item
+	// must win the slot (decreasing-order greedy).
+	bs := []Bin{stdBin(0, -1, math.Inf(1))}
+	bs[0].Capacity = 0.6
+	items := []Item{
+		{ID: 0, Demand: 0.1, Current: 0},
+		{ID: 1, Demand: 0.55, Current: 0},
+	}
+	res, err := Solve(Problem{Items: items, Bins: bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[1] != 0 {
+		t.Error("large item displaced from the only bin")
+	}
+	if res.Unplaced != 1 {
+		t.Errorf("Unplaced = %d, want 1 (the small item)", res.Unplaced)
+	}
+}
+
+// The energy-delay objective spreads load: with a high DelayWeight the
+// packer opens more bins than the pure-power objective would.
+func TestDelayWeightSpreadsLoad(t *testing.T) {
+	items := make([]Item, 6)
+	for i := range items {
+		items[i] = Item{ID: i, Demand: 0.25, Current: i}
+	}
+	pure, err := Solve(Problem{Items: items, Bins: bins(6, math.Inf(1)), MigrationWeight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := Solve(Problem{Items: items, Bins: bins(6, math.Inf(1)),
+		MigrationWeight: 1, DelayWeight: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.OpenBins <= pure.OpenBins {
+		t.Errorf("energy-delay packing opened %d bins, pure power %d — expected spreading",
+			spread.OpenBins, pure.OpenBins)
+	}
+}
+
+// Property: placements never exceed capacity (excluding unplaced fallbacks)
+// and every item is assigned to some bin.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		m := 3 + rng.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Demand: 0.05 + 0.6*rng.Float64(), Current: rng.Intn(m)}
+		}
+		res, err := Solve(Problem{Items: items, Bins: bins(m, math.Inf(1)), MigrationWeight: 3})
+		if err != nil {
+			return false
+		}
+		load := make([]float64, m)
+		placed := 0
+		for i, a := range res.Assignment {
+			if a < 0 || a >= m {
+				return false
+			}
+			load[a] += items[i].Demand
+			placed++
+		}
+		if placed != n {
+			return false
+		}
+		if res.Unplaced == 0 {
+			for _, l := range load {
+				if l > 0.85+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with ample capacity, consolidation never opens more bins than
+// the trivial ceiling of total demand / capacity plus one.
+func TestConsolidationQualityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		items := make([]Item, n)
+		total := 0.0
+		for i := range items {
+			d := 0.05 + 0.3*rng.Float64()
+			items[i] = Item{ID: i, Demand: d, Current: i % 5}
+			total += d
+		}
+		res, err := Solve(Problem{Items: items, Bins: bins(n, math.Inf(1)), MigrationWeight: 2})
+		if err != nil {
+			return false
+		}
+		// First-fit-decreasing guarantee: <= 2x optimal bins + 1 is loose
+		// enough to never flake, tight enough to catch broken consolidation.
+		optimal := int(math.Ceil(total / 0.85))
+		return res.OpenBins <= 2*optimal+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

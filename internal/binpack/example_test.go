@@ -1,0 +1,31 @@
+package binpack_test
+
+import (
+	"fmt"
+	"math"
+
+	"nopower/internal/binpack"
+)
+
+// Four quarter-loaded VMs consolidate onto one server: high idle power makes
+// opening a second bin expensive, so the greedy packs them together.
+func ExampleSolve() {
+	items := []binpack.Item{
+		{ID: 0, Demand: 0.2, Current: 0},
+		{ID: 1, Demand: 0.2, Current: 1},
+		{ID: 2, Demand: 0.2, Current: 2},
+		{ID: 3, Demand: 0.2, Current: 3},
+	}
+	bins := make([]binpack.Bin, 4)
+	for i := range bins {
+		bins[i] = binpack.Bin{
+			ID: i, Capacity: 0.85, FullCapacity: 1,
+			IdlePower: 60, PowerSlope: 40,
+			PowerBudget: math.Inf(1), Enclosure: -1, On: true,
+		}
+	}
+	res, _ := binpack.Solve(binpack.Problem{Items: items, Bins: bins, MigrationWeight: 2})
+	fmt.Printf("open bins: %d, migrations: %d, estimated power: %.0f W\n",
+		res.OpenBins, res.Migrations, res.EstimatedPower)
+	// Output: open bins: 1, migrations: 3, estimated power: 92 W
+}

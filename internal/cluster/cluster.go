@@ -1,0 +1,397 @@
+// Package cluster models the physical plant of the simulation: servers with
+// P-states, blade enclosures, the group (rack / data center), and the
+// virtual machines placed on the servers. It is the "system" box of the
+// paper's feedback loops — controllers read its sensors (utilization, power)
+// and drive its actuators (P-state, placement, machine on/off).
+package cluster
+
+import (
+	"fmt"
+
+	"nopower/internal/model"
+	"nopower/internal/trace"
+)
+
+// VM is one workload: a demand trace plus its current placement.
+type VM struct {
+	// ID indexes the VM inside its cluster.
+	ID int
+	// Trace supplies the demand series (fraction of a full-speed server).
+	Trace *trace.Trace
+	// Server is the index of the hosting server.
+	Server int
+	// MigratingUntil is the first tick at which a pending migration's
+	// performance penalty no longer applies (exclusive bound).
+	MigratingUntil int
+}
+
+// Server is one physical machine.
+type Server struct {
+	// ID indexes the server inside its cluster.
+	ID int
+	// Model is the hardware calibration (may differ per server —
+	// heterogeneous clusters are a §6.1 extension we support).
+	Model *model.Model
+	// Enclosure is the containing enclosure index, or -1 for a standalone
+	// (non-blade) server hanging directly off the group manager.
+	Enclosure int
+	// On reports whether the machine is powered.
+	On bool
+	// PState is the current ACPI operating point (index into Model.PStates).
+	PState int
+	// StaticCap is CAP_LOC: the fixed thermal budget of this machine.
+	StaticCap float64
+	// DynCap is cap_loc: the effective budget after EM/GM re-provisioning
+	// (always min(StaticCap, recommendation)).
+	DynCap float64
+
+	// Sensor readings from the latest Advance call.
+	Util      float64 // r: apparent utilization in [0,1]
+	RealUtil  float64 // f_C in full-speed units: Util * Capacity(PState)
+	Power     float64 // Watts
+	DemandSum float64 // f_D including virtualization overhead
+
+	// VMs lists the IDs of hosted VMs (placement bookkeeping).
+	VMs []int
+}
+
+// Capacity returns the server's current compute capacity in full-speed units.
+func (s *Server) Capacity() float64 {
+	if !s.On {
+		return 0
+	}
+	return s.Model.Capacity(s.PState)
+}
+
+// Enclosure is a blade enclosure: a set of blades sharing power provisioning.
+type Enclosure struct {
+	// ID indexes the enclosure.
+	ID int
+	// Servers lists member server indices.
+	Servers []int
+	// StaticCap is CAP_ENC, the enclosure's fixed thermal budget.
+	StaticCap float64
+	// DynCap is cap_enc after GM re-provisioning.
+	DynCap float64
+	// Power is the summed member draw from the latest Advance.
+	Power float64
+}
+
+// Config assembles a cluster.
+type Config struct {
+	// Enclosures is the number of blade enclosures.
+	Enclosures int
+	// BladesPerEnclosure is the enclosure width (20 in the paper).
+	BladesPerEnclosure int
+	// Standalone is the number of non-blade servers.
+	Standalone int
+	// Model is the hardware calibration for every server (homogeneous
+	// clusters; use SetModel afterwards for heterogeneous setups).
+	Model *model.Model
+	// CapOffGrp, CapOffEnc, CapOffLoc are the budget headrooms: budgets are
+	// (1-off) of the level's maximum draw. The paper's base is 20-15-10 =
+	// 0.20/0.15/0.10.
+	CapOffGrp, CapOffEnc, CapOffLoc float64
+	// AlphaV is the virtualization overhead added to VM demand (10 %).
+	AlphaV float64
+	// AlphaM is the migration performance penalty (10 %).
+	AlphaM float64
+	// MigrationTicks is how long the penalty lasts after a move.
+	MigrationTicks int
+}
+
+// Cluster is the full plant.
+type Cluster struct {
+	Servers    []*Server
+	Enclosures []*Enclosure
+	VMs        []*VM
+	// StaticCapGrp is CAP_GRP, the group's fixed thermal budget.
+	StaticCapGrp float64
+	// GroupPower is the total draw from the latest Advance.
+	GroupPower float64
+	// Cfg preserves the construction parameters.
+	Cfg Config
+
+	// Per-tick performance accounting from the latest Advance.
+	DemandWork    float64 // useful work demanded this tick (full-speed units)
+	DeliveredWork float64 // useful work delivered this tick
+	// LastTick records the tick of the latest Advance (-1 before the first).
+	LastTick int
+}
+
+// New builds a cluster and places the workloads one-per-server in order
+// (the paper's initial deployment: 180 workloads on 180 servers).
+func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("cluster: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Enclosures < 0 || cfg.BladesPerEnclosure < 0 || cfg.Standalone < 0 {
+		return nil, fmt.Errorf("cluster: negative topology parameters")
+	}
+	n := cfg.Enclosures*cfg.BladesPerEnclosure + cfg.Standalone
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: no servers")
+	}
+	if workloads == nil || workloads.Len() == 0 {
+		return nil, fmt.Errorf("cluster: no workloads")
+	}
+	if workloads.Len() > n {
+		return nil, fmt.Errorf("cluster: %d workloads exceed %d servers", workloads.Len(), n)
+	}
+	if cfg.MigrationTicks < 0 {
+		return nil, fmt.Errorf("cluster: negative migration window")
+	}
+
+	c := &Cluster{Cfg: cfg, LastTick: -1}
+	for e := 0; e < cfg.Enclosures; e++ {
+		enc := &Enclosure{ID: e}
+		for b := 0; b < cfg.BladesPerEnclosure; b++ {
+			id := len(c.Servers)
+			c.Servers = append(c.Servers, newServer(id, e, cfg))
+			enc.Servers = append(enc.Servers, id)
+		}
+		c.Enclosures = append(c.Enclosures, enc)
+	}
+	for s := 0; s < cfg.Standalone; s++ {
+		id := len(c.Servers)
+		c.Servers = append(c.Servers, newServer(id, -1, cfg))
+	}
+	c.recomputeBudgets()
+
+	for i, tr := range workloads.Traces {
+		vm := &VM{ID: i, Trace: tr, Server: i, MigratingUntil: 0}
+		c.VMs = append(c.VMs, vm)
+		c.Servers[i].VMs = append(c.Servers[i].VMs, i)
+	}
+	return c, nil
+}
+
+func newServer(id, enclosure int, cfg Config) *Server {
+	return &Server{
+		ID:        id,
+		Model:     cfg.Model,
+		Enclosure: enclosure,
+		On:        true,
+		PState:    0,
+	}
+}
+
+// SetModel swaps one server's hardware calibration (heterogeneous clusters)
+// and refreshes the budget hierarchy accordingly.
+func (c *Cluster) SetModel(server int, m *model.Model) error {
+	if server < 0 || server >= len(c.Servers) {
+		return fmt.Errorf("cluster: server %d out of range", server)
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	c.Servers[server].Model = m
+	if c.Servers[server].PState >= m.NumPStates() {
+		c.Servers[server].PState = m.NumPStates() - 1
+	}
+	c.recomputeBudgets()
+	return nil
+}
+
+// recomputeBudgets derives the static caps from each level's maximum draw:
+// CAP_LOC = (1-offLoc)*serverMax, CAP_ENC = (1-offEnc)*Σ bladeMax,
+// CAP_GRP = (1-offGrp)*Σ serverMax (paper Fig. 5, "x% off ... max").
+func (c *Cluster) recomputeBudgets() {
+	groupMax := 0.0
+	for _, s := range c.Servers {
+		s.StaticCap = (1 - c.Cfg.CapOffLoc) * s.Model.MaxPower()
+		s.DynCap = s.StaticCap
+		groupMax += s.Model.MaxPower()
+	}
+	for _, e := range c.Enclosures {
+		encMax := 0.0
+		for _, sid := range e.Servers {
+			encMax += c.Servers[sid].Model.MaxPower()
+		}
+		e.StaticCap = (1 - c.Cfg.CapOffEnc) * encMax
+		e.DynCap = e.StaticCap
+	}
+	c.StaticCapGrp = (1 - c.Cfg.CapOffGrp) * groupMax
+}
+
+// Move relocates a VM to another server, updating placement bookkeeping and
+// starting the migration penalty window. Moving to the current host is a
+// no-op. The destination is powered on if needed.
+func (c *Cluster) Move(vmID, toServer, tick int) error {
+	if vmID < 0 || vmID >= len(c.VMs) {
+		return fmt.Errorf("cluster: vm %d out of range", vmID)
+	}
+	if toServer < 0 || toServer >= len(c.Servers) {
+		return fmt.Errorf("cluster: server %d out of range", toServer)
+	}
+	vm := c.VMs[vmID]
+	if vm.Server == toServer {
+		return nil
+	}
+	from := c.Servers[vm.Server]
+	for i, id := range from.VMs {
+		if id == vmID {
+			from.VMs = append(from.VMs[:i], from.VMs[i+1:]...)
+			break
+		}
+	}
+	to := c.Servers[toServer]
+	to.VMs = append(to.VMs, vmID)
+	if !to.On {
+		c.PowerOn(toServer)
+	}
+	vm.Server = toServer
+	vm.MigratingUntil = tick + c.Cfg.MigrationTicks
+	return nil
+}
+
+// PowerOff shuts a server down. It refuses to power off a non-empty machine:
+// the VMC must evacuate first.
+func (c *Cluster) PowerOff(server int) error {
+	s := c.Servers[server]
+	if len(s.VMs) > 0 {
+		return fmt.Errorf("cluster: server %d still hosts %d VMs", server, len(s.VMs))
+	}
+	s.On = false
+	s.Util, s.RealUtil, s.Power, s.DemandSum = 0, 0, s.Model.OffWatts, 0
+	return nil
+}
+
+// PowerOn brings a server up at full frequency with a fresh control state.
+func (c *Cluster) PowerOn(server int) {
+	s := c.Servers[server]
+	s.On = true
+	s.PState = 0
+}
+
+// Advance evaluates the plant for one tick: per-server demand, utilization,
+// power, and the cluster-wide work ledger. Controllers should run before
+// Advance within a tick; sensors reflect the tick being advanced.
+func (c *Cluster) Advance(tick int) {
+	c.LastTick = tick
+	c.GroupPower = 0
+	c.DemandWork = 0
+	c.DeliveredWork = 0
+	for _, s := range c.Servers {
+		if !s.On {
+			s.Util, s.RealUtil, s.DemandSum = 0, 0, 0
+			s.Power = s.Model.OffWatts
+			c.GroupPower += s.Power
+			// Work demanded by VMs on an off server is lost entirely. (The
+			// VMC never leaves VMs on off machines; this is failure-mode
+			// accounting.)
+			for _, vmID := range s.VMs {
+				c.DemandWork += c.VMs[vmID].Trace.At(tick)
+			}
+			continue
+		}
+		fD := 0.0
+		rawDemand := 0.0
+		for _, vmID := range s.VMs {
+			d := c.VMs[vmID].Trace.At(tick)
+			rawDemand += d
+			fD += d * (1 + c.Cfg.AlphaV)
+		}
+		cap := s.Model.Capacity(s.PState)
+		fC := fD
+		if fC > cap {
+			fC = cap
+		}
+		r := 0.0
+		if cap > 0 {
+			r = fC / cap
+		}
+		s.Util = r
+		s.RealUtil = fC
+		s.DemandSum = fD
+		s.Power = s.Model.Power(s.PState, r)
+		c.GroupPower += s.Power
+
+		// Useful work excludes the virtualization overhead: the served
+		// fraction applies proportionally to every VM's raw demand, and
+		// migrating VMs lose an extra AlphaM slice.
+		served := 1.0
+		if fD > 0 {
+			served = fC / fD
+		}
+		for _, vmID := range s.VMs {
+			vm := c.VMs[vmID]
+			d := vm.Trace.At(tick)
+			got := d * served
+			if tick < vm.MigratingUntil {
+				got *= 1 - c.Cfg.AlphaM
+			}
+			c.DemandWork += d
+			c.DeliveredWork += got
+		}
+	}
+	for _, e := range c.Enclosures {
+		e.Power = 0
+		for _, sid := range e.Servers {
+			e.Power += c.Servers[sid].Power
+		}
+	}
+}
+
+// OnCount returns the number of powered servers.
+func (c *Cluster) OnCount() int {
+	n := 0
+	for _, s := range c.Servers {
+		if s.On {
+			n++
+		}
+	}
+	return n
+}
+
+// StandaloneServers returns the indices of servers outside any enclosure.
+func (c *Cluster) StandaloneServers() []int {
+	var out []int
+	for _, s := range c.Servers {
+		if s.Enclosure < 0 {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// MaxGroupPower returns the sum of per-server maximum draws.
+func (c *Cluster) MaxGroupPower() float64 {
+	sum := 0.0
+	for _, s := range c.Servers {
+		sum += s.Model.MaxPower()
+	}
+	return sum
+}
+
+// CheckInvariants validates placement bookkeeping: every VM appears exactly
+// once, on the server it claims, and off servers host nothing. Used by tests
+// and enabled in the simulator's paranoid mode.
+func (c *Cluster) CheckInvariants() error {
+	seen := make(map[int]int, len(c.VMs))
+	for _, s := range c.Servers {
+		for _, vmID := range s.VMs {
+			if vmID < 0 || vmID >= len(c.VMs) {
+				return fmt.Errorf("server %d lists unknown vm %d", s.ID, vmID)
+			}
+			if prev, dup := seen[vmID]; dup {
+				return fmt.Errorf("vm %d on both server %d and %d", vmID, prev, s.ID)
+			}
+			seen[vmID] = s.ID
+			if c.VMs[vmID].Server != s.ID {
+				return fmt.Errorf("vm %d claims server %d but is listed on %d",
+					vmID, c.VMs[vmID].Server, s.ID)
+			}
+		}
+		if !s.On && len(s.VMs) > 0 {
+			return fmt.Errorf("off server %d hosts %d VMs", s.ID, len(s.VMs))
+		}
+	}
+	if len(seen) != len(c.VMs) {
+		return fmt.Errorf("%d of %d VMs placed", len(seen), len(c.VMs))
+	}
+	return nil
+}

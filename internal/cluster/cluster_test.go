@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/model"
+	"nopower/internal/trace"
+)
+
+func flat(name string, n int, level float64) *trace.Trace {
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = level
+	}
+	return &trace.Trace{Name: name, Class: "flat", Demand: d}
+}
+
+func smallCfg() Config {
+	return Config{
+		Enclosures:         1,
+		BladesPerEnclosure: 4,
+		Standalone:         2,
+		Model:              model.BladeA(),
+		CapOffGrp:          0.20,
+		CapOffEnc:          0.15,
+		CapOffLoc:          0.10,
+		AlphaV:             0.10,
+		AlphaM:             0.10,
+		MigrationTicks:     5,
+	}
+}
+
+func smallSet(n int, level float64) *trace.Set {
+	s := &trace.Set{Name: "small"}
+	for i := 0; i < n; i++ {
+		s.Traces = append(s.Traces, flat("w", 100, level))
+	}
+	return s
+}
+
+func mustNew(t *testing.T, cfg Config, set *trace.Set) *Cluster {
+	t.Helper()
+	c, err := New(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewTopology(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.3))
+	if len(c.Servers) != 6 {
+		t.Fatalf("servers = %d", len(c.Servers))
+	}
+	if len(c.Enclosures) != 1 || len(c.Enclosures[0].Servers) != 4 {
+		t.Fatalf("enclosure layout wrong: %+v", c.Enclosures)
+	}
+	if got := c.StandaloneServers(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("standalone = %v", got)
+	}
+	for i, s := range c.Servers {
+		if i < 4 && s.Enclosure != 0 {
+			t.Errorf("server %d enclosure = %d", i, s.Enclosure)
+		}
+		if i >= 4 && s.Enclosure != -1 {
+			t.Errorf("server %d should be standalone", i)
+		}
+		if !s.On || s.PState != 0 {
+			t.Errorf("server %d should boot on at P0", i)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Model: nil}, smallSet(1, 0.1)); err == nil {
+		t.Error("nil model accepted")
+	}
+	cfg := smallCfg()
+	if _, err := New(cfg, &trace.Set{}); err == nil {
+		t.Error("empty workload set accepted")
+	}
+	if _, err := New(cfg, smallSet(7, 0.1)); err == nil {
+		t.Error("more workloads than servers accepted")
+	}
+	cfg.Enclosures = -1
+	if _, err := New(cfg, smallSet(2, 0.1)); err == nil {
+		t.Error("negative topology accepted")
+	}
+	cfg = smallCfg()
+	cfg.Enclosures, cfg.BladesPerEnclosure, cfg.Standalone = 0, 0, 0
+	if _, err := New(cfg, smallSet(1, 0.1)); err == nil {
+		t.Error("zero servers accepted")
+	}
+	cfg = smallCfg()
+	cfg.MigrationTicks = -1
+	if _, err := New(cfg, smallSet(2, 0.1)); err == nil {
+		t.Error("negative migration window accepted")
+	}
+}
+
+func TestBudgetDerivation(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.3))
+	m := model.BladeA()
+	wantLoc := 0.9 * m.MaxPower()
+	for _, s := range c.Servers {
+		if math.Abs(s.StaticCap-wantLoc) > 1e-9 {
+			t.Errorf("server %d cap = %v, want %v", s.ID, s.StaticCap, wantLoc)
+		}
+		if s.DynCap != s.StaticCap {
+			t.Errorf("server %d dyn cap should start at static", s.ID)
+		}
+	}
+	wantEnc := 0.85 * 4 * m.MaxPower()
+	if math.Abs(c.Enclosures[0].StaticCap-wantEnc) > 1e-9 {
+		t.Errorf("enclosure cap = %v, want %v", c.Enclosures[0].StaticCap, wantEnc)
+	}
+	wantGrp := 0.8 * 6 * m.MaxPower()
+	if math.Abs(c.StaticCapGrp-wantGrp) > 1e-9 {
+		t.Errorf("group cap = %v, want %v", c.StaticCapGrp, wantGrp)
+	}
+	if math.Abs(c.MaxGroupPower()-6*m.MaxPower()) > 1e-9 {
+		t.Errorf("MaxGroupPower = %v", c.MaxGroupPower())
+	}
+}
+
+func TestAdvanceComputesSensors(t *testing.T) {
+	cfg := smallCfg()
+	c := mustNew(t, cfg, smallSet(6, 0.3))
+	c.Advance(0)
+	m := cfg.Model
+	wantFD := 0.3 * 1.1
+	for _, s := range c.Servers {
+		if math.Abs(s.DemandSum-wantFD) > 1e-12 {
+			t.Errorf("server %d demand = %v, want %v", s.ID, s.DemandSum, wantFD)
+		}
+		if math.Abs(s.Util-wantFD) > 1e-12 { // P0 capacity is 1.0
+			t.Errorf("server %d util = %v", s.ID, s.Util)
+		}
+		if math.Abs(s.Power-m.Power(0, wantFD)) > 1e-12 {
+			t.Errorf("server %d power = %v", s.ID, s.Power)
+		}
+		if math.Abs(s.RealUtil-wantFD) > 1e-12 {
+			t.Errorf("server %d real util = %v", s.ID, s.RealUtil)
+		}
+	}
+	if math.Abs(c.GroupPower-6*m.Power(0, wantFD)) > 1e-9 {
+		t.Errorf("group power = %v", c.GroupPower)
+	}
+	if math.Abs(c.Enclosures[0].Power-4*m.Power(0, wantFD)) > 1e-9 {
+		t.Errorf("enclosure power = %v", c.Enclosures[0].Power)
+	}
+	// All demand served: delivered == demanded == 6*0.3.
+	if math.Abs(c.DemandWork-1.8) > 1e-12 || math.Abs(c.DeliveredWork-1.8) > 1e-12 {
+		t.Errorf("work ledger = %v / %v", c.DeliveredWork, c.DemandWork)
+	}
+}
+
+func TestAdvanceDeepPStateSaturates(t *testing.T) {
+	cfg := smallCfg()
+	c := mustNew(t, cfg, smallSet(6, 0.7))
+	deep := cfg.Model.NumPStates() - 1
+	for _, s := range c.Servers {
+		s.PState = deep // capacity 0.533 < demand 0.77
+	}
+	c.Advance(0)
+	capDeep := cfg.Model.Capacity(deep)
+	for _, s := range c.Servers {
+		if s.Util != 1 {
+			t.Errorf("server %d util = %v, want saturation", s.ID, s.Util)
+		}
+		if math.Abs(s.RealUtil-capDeep) > 1e-12 {
+			t.Errorf("server %d real util = %v, want %v", s.ID, s.RealUtil, capDeep)
+		}
+	}
+	// Perf loss: each VM demands 0.7 raw but the server serves only
+	// 0.533/0.77 of demand (incl. overhead).
+	served := capDeep / (0.7 * 1.1)
+	wantDelivered := 6 * 0.7 * served
+	if math.Abs(c.DeliveredWork-wantDelivered) > 1e-9 {
+		t.Errorf("delivered = %v, want %v", c.DeliveredWork, wantDelivered)
+	}
+	if c.DeliveredWork >= c.DemandWork {
+		t.Error("saturated cluster should lose work")
+	}
+}
+
+func TestMoveBookkeeping(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
+	if err := c.Move(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if c.VMs[0].Server != 1 {
+		t.Errorf("vm 0 on server %d", c.VMs[0].Server)
+	}
+	if len(c.Servers[0].VMs) != 0 || len(c.Servers[1].VMs) != 2 {
+		t.Errorf("placement lists wrong: %v / %v", c.Servers[0].VMs, c.Servers[1].VMs)
+	}
+	if c.VMs[0].MigratingUntil != 15 {
+		t.Errorf("MigratingUntil = %d, want 15", c.VMs[0].MigratingUntil)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Self-move is a no-op and does not restart the penalty window.
+	if err := c.Move(0, 1, 99); err != nil {
+		t.Fatal(err)
+	}
+	if c.VMs[0].MigratingUntil != 15 {
+		t.Error("self-move restarted migration window")
+	}
+	if err := c.Move(-1, 0, 0); err == nil {
+		t.Error("bad vm id accepted")
+	}
+	if err := c.Move(0, 99, 0); err == nil {
+		t.Error("bad server id accepted")
+	}
+}
+
+func TestMigrationPenaltyWindow(t *testing.T) {
+	cfg := smallCfg()
+	c := mustNew(t, cfg, smallSet(6, 0.2))
+	if err := c.Move(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(1) // inside window (until tick 5)
+	lossDuring := c.DemandWork - c.DeliveredWork
+	if math.Abs(lossDuring-0.2*cfg.AlphaM) > 1e-9 {
+		t.Errorf("migration loss = %v, want %v", lossDuring, 0.2*cfg.AlphaM)
+	}
+	c.Advance(5) // window closed
+	if loss := c.DemandWork - c.DeliveredWork; math.Abs(loss) > 1e-12 {
+		t.Errorf("loss after window = %v", loss)
+	}
+}
+
+func TestPowerOffOnlyEmpty(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
+	if err := c.PowerOff(0); err == nil {
+		t.Error("powered off a non-empty server")
+	}
+	if err := c.Move(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Servers[0].On {
+		t.Error("server 0 still on")
+	}
+	c.Advance(1)
+	if c.Servers[0].Power != 0 {
+		t.Errorf("off server draws %v W", c.Servers[0].Power)
+	}
+	if c.OnCount() != 5 {
+		t.Errorf("OnCount = %d", c.OnCount())
+	}
+	// Moving a VM to an off server powers it back on.
+	if err := c.Move(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Servers[0].On || c.Servers[0].PState != 0 {
+		t.Error("destination not powered on at P0")
+	}
+}
+
+func TestOffServerLosesAllWork(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
+	// Force the failure mode directly (bypassing PowerOff's guard).
+	c.Servers[0].On = false
+	c.Advance(0)
+	if err := c.CheckInvariants(); err == nil {
+		t.Error("invariant check should flag VMs on an off server")
+	}
+	loss := c.DemandWork - c.DeliveredWork
+	if math.Abs(loss-0.2) > 1e-9 {
+		t.Errorf("loss = %v, want the stranded VM's 0.2", loss)
+	}
+}
+
+func TestSetModelHeterogeneous(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
+	b := model.ServerB()
+	if err := c.SetModel(5, b); err != nil {
+		t.Fatal(err)
+	}
+	if c.Servers[5].Model.Name != "ServerB" {
+		t.Error("model not swapped")
+	}
+	// Budgets must reflect the new mix.
+	wantGrp := 0.8 * (5*model.BladeA().MaxPower() + b.MaxPower())
+	if math.Abs(c.StaticCapGrp-wantGrp) > 1e-9 {
+		t.Errorf("group cap = %v, want %v", c.StaticCapGrp, wantGrp)
+	}
+	if err := c.SetModel(99, b); err == nil {
+		t.Error("bad index accepted")
+	}
+	// P-state index clamped when the new ladder is shorter.
+	c.Servers[4].PState = 4
+	if err := c.SetModel(4, model.BladeA().TwoExtremes()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Servers[4].PState > 1 {
+		t.Errorf("p-state %d not clamped", c.Servers[4].PState)
+	}
+}
+
+func TestCheckInvariantsCatchesCorruption(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
+	c.VMs[0].Server = 3 // lie about placement
+	if err := c.CheckInvariants(); err == nil {
+		t.Error("mismatched placement not caught")
+	}
+}

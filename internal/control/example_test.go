@@ -1,0 +1,36 @@
+package control_test
+
+import (
+	"fmt"
+
+	"nopower/internal/control"
+)
+
+// The EC loop drives a server's utilization to its target by resizing the
+// frequency; here demand is 300 MHz-equivalents and the target 75 %, so the
+// loop settles at 400 MHz.
+func ExampleUtilizationLoop() {
+	loop, _ := control.NewUtilizationLoop(0.8, 0.75, 100, 1000)
+	plant := control.FrequencyPlant{FD: 300}
+	for i := 0; i < 300; i++ {
+		r, fC := plant.Observe(loop.F)
+		loop.StepEC(r, fC)
+	}
+	r, _ := plant.Observe(loop.F)
+	fmt.Printf("f = %.0f MHz, utilization = %.2f\n", loop.F, r)
+	// Output: f = 400 MHz, utilization = 0.75
+}
+
+// The SM loop holds a server's power at its budget by steering the EC's
+// utilization target; against the linearized plant it converges exactly.
+func ExampleCappingLoop() {
+	plant := control.PowerPlant{C: 60, D: 140}
+	capW := 95.0
+	loop, _ := control.NewCappingLoop(control.DefaultBeta(plant.C), capW, 0.5, 1.5)
+	pow := plant.Power(loop.RRef)
+	for i := 0; i < 200; i++ {
+		pow = plant.Power(loop.Step(pow))
+	}
+	fmt.Printf("power = %.1f W at r_ref = %.2f\n", pow, loop.RRef)
+	// Output: power = 95.0 W at r_ref = 0.75
+}

@@ -1,0 +1,104 @@
+// Package ec implements the efficiency controller — the innermost loop of
+// the paper's architecture (§3.1). Per server, it regulates CPU utilization
+// around a target r_ref by resizing the "container" (the clock frequency,
+// actuated through P-states), so consumed power tracks the workload's
+// resource demand in real time.
+//
+// Control law (Fig. 6, eq. EC): f(k) = f(k−1) − λ·(f_C(k−1)/r_ref)·(r_ref −
+// r(k−1)), with the continuous frequency quantized to the nearest available
+// P-state. The integral gain is self-tuning (proportional to consumption);
+// stability is guaranteed for 0 < λ < 1/r_ref (Appendix A).
+//
+// Coordination: the EC "exposes an API to the SM to change r_ref" (Fig. 4) —
+// SetRRef here. Nothing else about the controller changes between the
+// coordinated and uncoordinated deployments; what differs is who else writes
+// the P-state.
+package ec
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/control"
+)
+
+// DefaultLambda is the paper's base EC gain (Fig. 5: λ = 0.8, below the
+// 1/r_ref ≈ 1.33 global-stability bound at the 0.75 floor).
+const DefaultLambda = 0.8
+
+// DefaultRRef is the paper's utilization-target floor (75 %).
+const DefaultRRef = 0.75
+
+// Controller runs one utilization loop per server. Frequencies are handled
+// in full-speed-relative units (1.0 = the model's P0 frequency) so that the
+// loop state composes directly with the cluster's capacity/consumption
+// sensors.
+type Controller struct {
+	// Period is T_ec in ticks (1 in the paper's baseline).
+	Period int
+	// Lambda is the scaling gain λ.
+	Lambda float64
+
+	loops  []*control.UtilizationLoop
+	wasOn  []bool
+	rRef0  float64
+	nSteps int
+}
+
+// New builds an EC over every server of the cluster.
+func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("ec: period %d", period)
+	}
+	c := &Controller{Period: period, Lambda: lambda, rRef0: rRef}
+	for _, s := range cl.Servers {
+		fMin := s.Model.MinFreq() / s.Model.MaxFreq()
+		loop, err := control.NewUtilizationLoop(lambda, rRef, fMin, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("ec: server %d: %w", s.ID, err)
+		}
+		c.loops = append(c.loops, loop)
+		c.wasOn = append(c.wasOn, true)
+	}
+	return c, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (c *Controller) Name() string { return "EC" }
+
+// SetRRef overloads server i's utilization target — the SM's coordination
+// channel (Fig. 4: "Expose API to SM to change r_ref").
+func (c *Controller) SetRRef(server int, rRef float64) {
+	c.loops[server].SetReference(rRef)
+}
+
+// RRef reports server i's current utilization target.
+func (c *Controller) RRef(server int) float64 { return c.loops[server].Reference() }
+
+// Tick advances every per-server loop that is due this tick.
+func (c *Controller) Tick(k int, cl *cluster.Cluster) {
+	if k%c.Period != 0 {
+		return
+	}
+	for i, s := range cl.Servers {
+		loop := c.loops[i]
+		if !s.On {
+			c.wasOn[i] = false
+			continue
+		}
+		if !c.wasOn[i] {
+			// Fresh boot: restart the loop at full frequency with the
+			// default target, mirroring cluster.PowerOn's P0 reset.
+			loop.F = 1.0
+			loop.SetReference(c.rRef0)
+			c.wasOn[i] = true
+		}
+		// Sensors from the previous interval: r and f_C in relative units.
+		loop.StepEC(s.Util, s.RealUtil)
+		s.PState = s.Model.Quantize(loop.F * s.Model.MaxFreq())
+		c.nSteps++
+	}
+}
+
+// Steps reports how many per-server control actions have run (telemetry).
+func (c *Controller) Steps() int { return c.nSteps }

@@ -1,0 +1,105 @@
+// Package em implements the enclosure manager — power capping at the blade
+// enclosure level (§3.1 "Enclosure and group power capping"). Each epoch it
+// compares the enclosure's total draw with the enclosure budget and
+// re-provisions per-blade budgets for the next epoch.
+//
+// Base policy (Fig. 6, eq. EM): proportional share —
+//
+//	cap_loc_i = min(CAP_LOC_i, cap_enc · pow_i / pow_enc)
+//
+// with cap_enc itself the min of the static enclosure budget and the GM's
+// recommendation. The receiving SM applies the min rule again on its side;
+// the division policy is pluggable (§5.4 studies alternatives).
+//
+// The uncoordinated variant drops the min rule on both sides: it divides the
+// static enclosure budget regardless of what the GM handed down and writes
+// raw recommendations over whatever the servers had (last writer wins).
+package em
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/policy"
+)
+
+// Mode selects coordinated (min-rule) or uncoordinated budget writing.
+type Mode int
+
+const (
+	// Coordinated composes budgets with the min rule (the paper's design).
+	Coordinated Mode = iota
+	// Uncoordinated writes raw shares of the static budget, ignoring the GM.
+	Uncoordinated
+)
+
+// Controller is the enclosure-level capper.
+type Controller struct {
+	// Period is T_em in ticks (25 in the paper's baseline).
+	Period int
+	// Mode selects the coordination wiring.
+	Mode Mode
+	// Policy divides the enclosure budget across blades.
+	Policy policy.Division
+
+	violations int
+	epochs     int
+}
+
+// New builds an enclosure manager.
+func New(mode Mode, pol policy.Division, period int) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("em: period %d", period)
+	}
+	if pol == nil {
+		pol = policy.Proportional{}
+	}
+	return &Controller{Period: period, Mode: mode, Policy: pol}, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (c *Controller) Name() string { return "EM" }
+
+// Tick re-provisions per-blade budgets for every enclosure that is due.
+func (c *Controller) Tick(k int, cl *cluster.Cluster) {
+	if k%c.Period != 0 {
+		return
+	}
+	for _, e := range cl.Enclosures {
+		c.epochs++
+		if e.Power > e.StaticCap {
+			c.violations++
+		}
+		capEnc := e.StaticCap
+		if c.Mode == Coordinated && e.DynCap < capEnc {
+			capEnc = e.DynCap // min(CAP_ENC, GM recommendation)
+		}
+		children := make([]policy.Child, len(e.Servers))
+		for i, sid := range e.Servers {
+			s := cl.Servers[sid]
+			children[i] = policy.Child{ID: sid, Power: s.Power, MaxPower: s.Model.MaxPower()}
+		}
+		shares := c.Policy.Divide(capEnc, children)
+		for i, sid := range e.Servers {
+			s := cl.Servers[sid]
+			switch c.Mode {
+			case Coordinated:
+				rec := shares[i]
+				if rec > s.StaticCap {
+					rec = s.StaticCap // min(CAP_LOC, recommendation)
+				}
+				s.DynCap = rec
+			case Uncoordinated:
+				s.DynCap = shares[i] // raw overwrite, no min
+			}
+		}
+	}
+}
+
+// DrainViolations returns and resets the enclosure-level violation
+// telemetry (Fig. 4: "expose power budget violations to VMC").
+func (c *Controller) DrainViolations() (violations, epochs int) {
+	violations, epochs = c.violations, c.epochs
+	c.violations, c.epochs = 0, 0
+	return violations, epochs
+}

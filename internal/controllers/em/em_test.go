@@ -1,0 +1,121 @@
+package em
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/policy"
+	"nopower/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Coordinated, nil, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	c, err := New(Coordinated, nil, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy.Name() != "proportional" {
+		t.Errorf("default policy = %q", c.Policy.Name())
+	}
+}
+
+// Coordinated allocation: per-blade dynamic caps are min(static, share) and
+// their sum never exceeds the enclosure's effective budget.
+func TestCoordinatedAllocation(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 4, 0, 100, 0.5)
+	cl.Advance(0) // produce power readings
+	c, _ := New(Coordinated, policy.Proportional{}, 25)
+	c.Tick(0, cl)
+	sum := 0.0
+	for _, s := range cl.Servers {
+		if s.DynCap > s.StaticCap {
+			t.Errorf("server %d dyn cap %.1f above static %.1f", s.ID, s.DynCap, s.StaticCap)
+		}
+		sum += s.DynCap
+	}
+	if sum > cl.Enclosures[0].StaticCap+1e-9 {
+		t.Errorf("allocated %.1f W above enclosure budget %.1f W", sum, cl.Enclosures[0].StaticCap)
+	}
+}
+
+// The GM's recommendation (enclosure DynCap) tightens the pie the EM splits.
+func TestCoordinatedUsesGMRecommendation(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 4, 0, 100, 0.5)
+	cl.Advance(0)
+	cl.Enclosures[0].DynCap = 100 // much tighter than static (~340)
+	c, _ := New(Coordinated, policy.Proportional{}, 25)
+	c.Tick(0, cl)
+	sum := 0.0
+	for _, s := range cl.Servers {
+		sum += s.DynCap
+	}
+	if sum > 100+1e-9 {
+		t.Errorf("allocated %.1f W above the GM's 100 W recommendation", sum)
+	}
+}
+
+// Uncoordinated mode ignores the GM recommendation and the per-server min.
+func TestUncoordinatedIgnoresMinRule(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 0, 100, 0.5)
+	cl.Advance(0)
+	cl.Enclosures[0].DynCap = 50 // GM said 50; uncoordinated EM ignores it
+	c, _ := New(Uncoordinated, policy.FairShare{}, 25)
+	c.Tick(0, cl)
+	// Fair share of the full static budget: 0.85*200/2 = 85 each.
+	for _, s := range cl.Servers {
+		if math.Abs(s.DynCap-85) > 1e-9 {
+			t.Errorf("server %d dyn cap %.1f, want raw 85", s.ID, s.DynCap)
+		}
+	}
+}
+
+// Uncoordinated shares can exceed the blade's static cap — the under-throttle
+// conflict the min rule prevents.
+func TestUncoordinatedCanExceedStaticCap(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 0, 100, 0.5)
+	// Skew power so proportional share gives one blade nearly everything.
+	cl.Advance(0)
+	cl.Servers[0].Power = 100
+	cl.Servers[1].Power = 1
+	c, _ := New(Uncoordinated, policy.Proportional{}, 25)
+	c.Tick(0, cl)
+	if cl.Servers[0].DynCap <= cl.Servers[0].StaticCap {
+		t.Errorf("expected raw share %.1f above static cap %.1f",
+			cl.Servers[0].DynCap, cl.Servers[0].StaticCap)
+	}
+}
+
+func TestPeriodGatingAndTelemetry(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 2, 0, 100, 1.1) // saturating: enclosures violate
+	c, _ := New(Coordinated, nil, 25)
+	for k := 0; k < 100; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	v, e := c.DrainViolations()
+	// 4 epochs (k=0,25,50,75) x 2 enclosures; k=0 sees zero power (no
+	// violation), later epochs see saturated enclosures over budget.
+	if e != 8 {
+		t.Errorf("epochs = %d, want 8", e)
+	}
+	if v != 6 {
+		t.Errorf("violations = %d, want 6", v)
+	}
+	if v2, e2 := c.DrainViolations(); v2 != 0 || e2 != 0 {
+		t.Errorf("drain did not reset: %d/%d", v2, e2)
+	}
+}
+
+func TestNoEnclosuresIsNoop(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 3, 100, 0.5)
+	cl.Advance(0)
+	c, _ := New(Coordinated, nil, 25)
+	c.Tick(0, cl)
+	for _, s := range cl.Servers {
+		if s.DynCap != s.StaticCap {
+			t.Errorf("EM touched standalone server %d", s.ID)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package gm implements the group manager — power capping at the rack /
+// data-center level (§3.1). Each epoch it compares the group's total draw
+// with the group budget and re-provisions budgets to its children: blade
+// enclosures (via their EMs) and standalone servers (directly).
+//
+// Base policy (Fig. 6, eqs. GMs): proportional share —
+//
+//	cap_enc_q = min(CAP_ENC_q, CAP_GRP · pow_enc_q / pow_grp)
+//	cap_loc_i = min(CAP_LOC_i, CAP_GRP · pow_i / pow_grp)   (standalone)
+//
+// The uncoordinated variant writes raw shares with no min rule, racing with
+// the EM and SM for the same budget registers.
+package gm
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/policy"
+)
+
+// Mode selects coordinated (min-rule) or uncoordinated budget writing.
+type Mode int
+
+const (
+	// Coordinated composes budgets with the min rule (the paper's design).
+	Coordinated Mode = iota
+	// Uncoordinated writes raw shares, ignoring lower-level budgets.
+	Uncoordinated
+)
+
+// Controller is the group-level capper.
+type Controller struct {
+	// Period is T_grp in ticks (50 in the paper's baseline).
+	Period int
+	// Mode selects the coordination wiring.
+	Mode Mode
+	// Policy divides the group budget across children.
+	Policy policy.Division
+
+	violations int
+	epochs     int
+}
+
+// New builds a group manager.
+func New(mode Mode, pol policy.Division, period int) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("gm: period %d", period)
+	}
+	if pol == nil {
+		pol = policy.Proportional{}
+	}
+	return &Controller{Period: period, Mode: mode, Policy: pol}, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (c *Controller) Name() string { return "GM" }
+
+// Tick re-provisions enclosure and standalone-server budgets when due.
+// Children are ordered enclosures-first, then standalone servers; a policy
+// only sees (power, max power, id), so the ordering is an implementation
+// detail except for FIFO's id ordering.
+func (c *Controller) Tick(k int, cl *cluster.Cluster) {
+	if k%c.Period != 0 {
+		return
+	}
+	c.epochs++
+	if cl.GroupPower > cl.StaticCapGrp {
+		c.violations++
+	}
+
+	standalone := cl.StandaloneServers()
+	children := make([]policy.Child, 0, len(cl.Enclosures)+len(standalone))
+	for _, e := range cl.Enclosures {
+		maxP := 0.0
+		for _, sid := range e.Servers {
+			maxP += cl.Servers[sid].Model.MaxPower()
+		}
+		children = append(children, policy.Child{ID: e.ID, Power: e.Power, MaxPower: maxP})
+	}
+	for _, sid := range standalone {
+		s := cl.Servers[sid]
+		// Offset standalone IDs past the enclosures so FIFO ordering is
+		// stable and unambiguous.
+		children = append(children, policy.Child{
+			ID: len(cl.Enclosures) + sid, Power: s.Power, MaxPower: s.Model.MaxPower(),
+		})
+	}
+
+	shares := c.Policy.Divide(cl.StaticCapGrp, children)
+
+	for i, e := range cl.Enclosures {
+		switch c.Mode {
+		case Coordinated:
+			rec := shares[i]
+			if rec > e.StaticCap {
+				rec = e.StaticCap // min(CAP_ENC, recommendation)
+			}
+			e.DynCap = rec
+		case Uncoordinated:
+			e.DynCap = shares[i]
+		}
+	}
+	for j, sid := range standalone {
+		s := cl.Servers[sid]
+		rec := shares[len(cl.Enclosures)+j]
+		if c.Mode == Coordinated && rec > s.StaticCap {
+			rec = s.StaticCap // min(CAP_LOC, recommendation)
+		}
+		s.DynCap = rec
+	}
+}
+
+// DrainViolations returns and resets the group-level violation telemetry.
+func (c *Controller) DrainViolations() (violations, epochs int) {
+	violations, epochs = c.violations, c.epochs
+	c.violations, c.epochs = 0, 0
+	return violations, epochs
+}

@@ -1,0 +1,119 @@
+package gm
+
+import (
+	"testing"
+
+	"nopower/internal/policy"
+	"nopower/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Coordinated, nil, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	c, err := New(Coordinated, nil, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy.Name() != "proportional" {
+		t.Errorf("default policy = %q", c.Policy.Name())
+	}
+}
+
+// Coordinated allocation covers both child kinds: enclosures get DynCap <=
+// their static cap, standalone servers likewise, and the total allocation
+// never exceeds the group budget.
+func TestCoordinatedAllocation(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 3, 4, 100, 0.5)
+	cl.Advance(0)
+	c, _ := New(Coordinated, policy.Proportional{}, 50)
+	c.Tick(0, cl)
+	total := 0.0
+	for _, e := range cl.Enclosures {
+		if e.DynCap > e.StaticCap+1e-9 {
+			t.Errorf("enclosure %d dyn cap %.1f above static %.1f", e.ID, e.DynCap, e.StaticCap)
+		}
+		total += e.DynCap
+	}
+	for _, sid := range cl.StandaloneServers() {
+		s := cl.Servers[sid]
+		if s.DynCap > s.StaticCap+1e-9 {
+			t.Errorf("standalone %d dyn cap %.1f above static %.1f", sid, s.DynCap, s.StaticCap)
+		}
+		total += s.DynCap
+	}
+	if total > cl.StaticCapGrp+1e-9 {
+		t.Errorf("allocated %.1f W above group budget %.1f W", total, cl.StaticCapGrp)
+	}
+}
+
+// Proportional share: a hotter enclosure receives a larger recommendation.
+func TestProportionalFavorsHotChildren(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 3, 0, 100, 0.5)
+	cl.Advance(0)
+	cl.Enclosures[0].Power = 250
+	cl.Enclosures[1].Power = 50
+	c, _ := New(Coordinated, policy.Proportional{}, 50)
+	c.Tick(0, cl)
+	if cl.Enclosures[0].DynCap <= cl.Enclosures[1].DynCap {
+		t.Errorf("hot enclosure got %.1f W, cold got %.1f W",
+			cl.Enclosures[0].DynCap, cl.Enclosures[1].DynCap)
+	}
+}
+
+// Uncoordinated mode writes raw shares without the min rule.
+func TestUncoordinatedSkipsMinRule(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 1, 100, 0.5)
+	cl.Advance(0)
+	// Make the standalone server dominate measured power so its raw share
+	// exceeds its static cap.
+	cl.Servers[2].Power = 500
+	cl.Enclosures[0].Power = 10
+	c, _ := New(Uncoordinated, policy.Proportional{}, 50)
+	c.Tick(0, cl)
+	if cl.Servers[2].DynCap <= cl.Servers[2].StaticCap {
+		t.Errorf("raw share %.1f should exceed the 90 W static cap", cl.Servers[2].DynCap)
+	}
+}
+
+func TestPeriodGating(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 0, 100, 0.5)
+	c, _ := New(Coordinated, nil, 50)
+	for k := 0; k < 150; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	if _, e := c.DrainViolations(); e != 3 {
+		t.Errorf("epochs = %d, want 3 (k=0,50,100)", e)
+	}
+}
+
+func TestViolationTelemetry(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 0, 100, 1.2) // saturating
+	c, _ := New(Coordinated, nil, 50)
+	cl.Advance(0) // group at full power: 200 W > 160 W budget
+	c.Tick(50, cl)
+	v, e := c.DrainViolations()
+	if v != 1 || e != 1 {
+		t.Errorf("drain = %d/%d, want 1/1", v, e)
+	}
+}
+
+// FIFO ordering across the mixed child list must be deterministic: the
+// standalone IDs are offset past the enclosure IDs.
+func TestFIFOChildOrdering(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 2, 100, 0.5)
+	cl.Advance(0)
+	c, _ := New(Coordinated, policy.FIFO{}, 50)
+	c.Tick(0, cl)
+	// Group budget 0.8*400 = 320: the enclosure (max 200) is filled first,
+	// then the standalone servers in ID order get the remainder.
+	if cl.Enclosures[0].DynCap != cl.Enclosures[0].StaticCap {
+		t.Errorf("enclosure got %.1f, want its full static cap %.1f",
+			cl.Enclosures[0].DynCap, cl.Enclosures[0].StaticCap)
+	}
+	s2, s3 := cl.Servers[2], cl.Servers[3]
+	if s2.DynCap < s3.DynCap {
+		t.Errorf("FIFO order violated: server 2 got %.1f < server 3's %.1f", s2.DynCap, s3.DynCap)
+	}
+}

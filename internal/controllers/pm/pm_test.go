@@ -1,0 +1,73 @@
+package pm
+
+import (
+	"testing"
+
+	"nopower/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0.95, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := New(0, 5); err == nil {
+		t.Error("zero SLO accepted")
+	}
+	if _, err := New(1.5, 5); err == nil {
+		t.Error("SLO above 1 accepted")
+	}
+	if _, err := New(DefaultSLO, 5); err != nil {
+		t.Error("valid PM rejected")
+	}
+}
+
+func TestCountsSLOMisses(t *testing.T) {
+	// Saturating demand on a throttled server: served fraction well below
+	// any reasonable SLO.
+	cl := testutil.StandaloneCluster(t, 2, 100, 1.0)
+	cl.Servers[0].PState = 4 // capacity 0.533 vs demand 1.1: served ~48 %
+	c, _ := New(0.95, 5)
+	cl.Advance(0)
+	c.Tick(5, cl)
+	v, e := c.DrainViolations()
+	if e != 2 {
+		t.Errorf("epochs = %d, want 2", e)
+	}
+	if v != 2 { // both servers saturated (even at P0, demand 1.1 > 1.0)
+		t.Errorf("violations = %d, want 2", v)
+	}
+	if v2, e2 := c.DrainViolations(); v2 != 0 || e2 != 0 {
+		t.Error("drain did not reset")
+	}
+}
+
+func TestHappyServersDoNotCount(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.3)
+	c, _ := New(0.95, 5)
+	cl.Advance(0)
+	c.Tick(0, cl)
+	if v, _ := c.DrainViolations(); v != 0 {
+		t.Errorf("violations = %d on an unthrottled light cluster", v)
+	}
+}
+
+func TestPeriodGatingAndOffServers(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.3)
+	if err := cl.Move(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := New(0.95, 5)
+	for k := 0; k < 20; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	_, e := c.DrainViolations()
+	// 4 epochs (k=0,5,10,15) x 1 powered server with demand (k=0 has no
+	// sensor data: DemandSum 0 -> skipped), so 3.
+	if e != 3 {
+		t.Errorf("epochs = %d, want 3", e)
+	}
+}

@@ -1,0 +1,54 @@
+package sm
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+)
+
+// ElectricalCapper is the optional CAP block of Fig. 2: an electrical
+// (fuse-protection) power capper that is faster than the efficiency loop and
+// therefore cannot go through r_ref — it is "implemented in parallel to the
+// EC ... directly adjusting P-states" (§6.1 extension 2). Because electrical
+// budgets allow no bounded-transient leeway, it acts every tick and is
+// scheduled after the EC so its clamp wins the tick.
+//
+// The clamp picks the shallowest P-state whose worst-case draw at the
+// current utilization stays under the electrical budget.
+type ElectricalCapper struct {
+	// Budget is the per-server electrical cap in Watts.
+	Budget float64
+}
+
+// NewElectricalCapper validates the budget.
+func NewElectricalCapper(budget float64) (*ElectricalCapper, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("sm: electrical budget %v", budget)
+	}
+	return &ElectricalCapper{Budget: budget}, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (e *ElectricalCapper) Name() string { return "CAP" }
+
+// Tick clamps every powered server whose projected draw exceeds the budget.
+func (e *ElectricalCapper) Tick(k int, cl *cluster.Cluster) {
+	for _, s := range cl.Servers {
+		if !s.On {
+			continue
+		}
+		// Project the draw the currently selected P-state could reach with
+		// the present demand and clamp deeper until it fits.
+		for s.PState < s.Model.NumPStates()-1 {
+			cap := s.Model.Capacity(s.PState)
+			r := 1.0
+			if cap > 0 && s.DemandSum < cap {
+				r = s.DemandSum / cap
+			}
+			if s.Model.Power(s.PState, r) <= e.Budget {
+				break
+			}
+			s.PState++
+		}
+	}
+}

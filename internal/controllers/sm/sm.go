@@ -1,0 +1,177 @@
+// Package sm implements the server manager — per-server thermal power
+// capping (§3.1 "Local power capping"). It measures server power, compares
+// it with the effective local budget, and reacts.
+//
+// The key coordination idea of the paper lives here: in the coordinated
+// architecture the SM does NOT touch the P-state. It actuates the EC's
+// utilization target instead (Fig. 6, eq. SM):
+//
+//	r_ref(k̂) = r_ref(k̂−1) − β_loc·(cap_loc − pow(k̂−1))
+//
+// so a budget violation raises r_ref, the EC shrinks the container, and
+// power falls — with the SM↔EC interaction analyzable exactly like a
+// workload change (Appendix A: stable for 0 < β_loc < 2/c_max; r_ref floored
+// at 0.75).
+//
+// The uncoordinated variant reproduces the commercial state of the art the
+// paper warns about (§2.3): the SM writes the P-state directly, on the same
+// knob the EC uses, and the two overwrite each other.
+package sm
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/control"
+)
+
+// RRefSetter is the EC-side coordination interface: the one API the paper
+// adds to the EC (Fig. 4).
+type RRefSetter interface {
+	SetRRef(server int, rRef float64)
+	RRef(server int) float64
+}
+
+// Mode selects the actuation style.
+type Mode int
+
+const (
+	// Coordinated actuates the EC's r_ref (the paper's design).
+	Coordinated Mode = iota
+	// Uncoordinated writes P-states directly, racing with the EC.
+	Uncoordinated
+)
+
+// Controller is the per-server power capper.
+type Controller struct {
+	// Period is T_sm in ticks (5 in the paper's baseline).
+	Period int
+	// Mode selects coordinated or uncoordinated actuation.
+	Mode Mode
+
+	ec    RRefSetter
+	loops []*control.CappingLoop
+	// violations counts server-epochs over budget since the last Drain —
+	// the telemetry the coordinated design "exposes to the VMC" (Fig. 4).
+	violations int
+	epochs     int
+}
+
+// RRefCeil bounds the actuated utilization target. It is deliberately above
+// 1: targets in (1, RRefCeil] are how the SM throttles a saturated server
+// (see control.MaxRRef) — the paper specifies only the 0.75 floor.
+const RRefCeil = 1.5
+
+// New builds an SM over every server. In Coordinated mode ecIface must be
+// non-nil; beta <= 0 selects a per-server default of half the Appendix-A
+// stability bound computed from the server's power model.
+func New(cl *cluster.Cluster, ecIface RRefSetter, mode Mode, beta float64, period int) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sm: period %d", period)
+	}
+	if mode == Coordinated && ecIface == nil {
+		return nil, fmt.Errorf("sm: coordinated mode needs the EC interface")
+	}
+	c := &Controller{Period: period, Mode: mode, ec: ecIface}
+	for _, s := range cl.Servers {
+		b := beta
+		if b <= 0 {
+			// Normalize the Appendix-A bound by the model's power/r_ref
+			// slope so the gain is expressed in r_ref-per-Watt.
+			b = control.DefaultBeta(s.Model.CapSlopeMax())
+		}
+		loop, err := control.NewCappingLoop(b, s.StaticCap, 0.75, RRefCeil)
+		if err != nil {
+			return nil, fmt.Errorf("sm: server %d: %w", s.ID, err)
+		}
+		// Release the throttle more cautiously than it is applied (thermal
+		// protection asymmetry): bounds the violation duty cycle under
+		// sustained overload.
+		loop.DownScale = 0.25
+		c.loops = append(c.loops, loop)
+	}
+	return c, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (c *Controller) Name() string { return "SM" }
+
+// Tick runs the capping law on every powered server that is due.
+func (c *Controller) Tick(k int, cl *cluster.Cluster) {
+	if k%c.Period != 0 {
+		return
+	}
+	for i, s := range cl.Servers {
+		if !s.On {
+			continue
+		}
+		c.epochs++
+		cap := c.effectiveCap(s)
+		// Telemetry counts violations of the server's OWN thermal budget
+		// (CAP_LOC), not of the dynamic allocation: a group-level shortfall
+		// is the GM's violation to report, and conflating the two would
+		// push the VMC's local buffer instead of its group buffer.
+		if s.Power > s.StaticCap {
+			c.violations++
+		}
+		switch c.Mode {
+		case Coordinated:
+			loop := c.loops[i]
+			loop.SetReference(cap)
+			rRef := loop.Step(s.Power)
+			c.ec.SetRRef(i, rRef)
+		case Uncoordinated:
+			// Commercial-style hardware capper: clamp to the shallowest
+			// P-state whose projected draw at the present demand meets the
+			// budget; recover one state when comfortably under. It shares
+			// the P-state knob with the EC, which overwrites it on the
+			// EC's next tick — the "power struggle": the cap holds for one
+			// tick out of every T_sm, the violation persists the rest.
+			if s.Power > cap {
+				for s.PState < s.Model.NumPStates()-1 && projected(s) > cap {
+					s.PState++
+				}
+			} else if s.Power < 0.85*cap && s.PState > 0 {
+				s.PState--
+			}
+		}
+	}
+}
+
+// projected estimates the draw of a server at its current P-state with its
+// present demand.
+func projected(s *cluster.Server) float64 {
+	cap := s.Model.Capacity(s.PState)
+	r := 1.0
+	if cap > 0 && s.DemandSum < cap {
+		r = s.DemandSum / cap
+	}
+	return s.Model.Power(s.PState, r)
+}
+
+// effectiveCap returns the budget the SM enforces. Coordinated: the paper's
+// min rule over the static budget and the EM/GM recommendation (which the
+// cluster stores in DynCap, itself already min'ed upstream). Uncoordinated:
+// whatever was last written to DynCap wins — no min — reproducing the
+// last-writer-wins conflict of independent products.
+func (c *Controller) effectiveCap(s *cluster.Server) float64 {
+	if c.Mode == Coordinated {
+		if s.DynCap < s.StaticCap {
+			return s.DynCap
+		}
+		return s.StaticCap
+	}
+	if s.DynCap > 0 {
+		return s.DynCap
+	}
+	return s.StaticCap
+}
+
+// DrainViolations returns and resets the violation telemetry: the count of
+// over-budget server-epochs and the epoch count since the previous drain.
+// This is the "expose power budget violations to VMC" interface of Fig. 4.
+func (c *Controller) DrainViolations() (violations, epochs int) {
+	violations, epochs = c.violations, c.epochs
+	c.violations, c.epochs = 0, 0
+	return violations, epochs
+}

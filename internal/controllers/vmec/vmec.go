@@ -1,0 +1,132 @@
+// Package vmec implements VM-level efficiency control — the paper's §6.1
+// extension (4): "multiple ECs implemented at the VM level ... addressed
+// with an arbitration interface similar to the <min> interface used for
+// SM/EM/GM interactions, though likely more generalized".
+//
+// Each VM gets its own utilization loop in the style of the paper's cited
+// basis (Wang, Zhu, Singhal — utilization-based dynamic sizing of resource
+// partitions): the loop resizes the VM's CPU *allocation* (its container, in
+// full-speed platform units) so the VM's utilization of that allocation
+// tracks r_ref. The platform-level arbitration is a generalized sum/clamp:
+// the host's frequency is set to cover the sum of all resident allocations.
+//
+// Coordination with the SM is unchanged: the SM broadcasts its r_ref output
+// to every loop resident on the server (SetRRef), so power capping throttles
+// all resident VMs together, exactly as with the platform-level EC — the
+// Controller satisfies the same RRefSetter interface.
+package vmec
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/control"
+)
+
+// minAllocation floors a VM's container so an idle VM can still wake up.
+const minAllocation = 0.02
+
+// Controller runs one utilization loop per VM and arbitrates per server.
+type Controller struct {
+	// Period is the control interval in ticks (T_ec).
+	Period int
+	// Lambda is the per-VM loop gain.
+	Lambda float64
+
+	loops   []*control.UtilizationLoop // indexed by VM ID
+	targets []float64                  // per-server r_ref broadcast by the SM
+	wasOn   []bool                     // per server
+	rRef0   float64
+}
+
+// New builds a VM-level EC over every VM of the cluster.
+func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("vmec: period %d", period)
+	}
+	c := &Controller{Period: period, Lambda: lambda, rRef0: rRef}
+	for range cl.Servers {
+		c.wasOn = append(c.wasOn, true)
+		c.targets = append(c.targets, rRef)
+	}
+	for _, vm := range cl.VMs {
+		loop, err := control.NewUtilizationLoop(lambda, rRef, minAllocation, 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("vmec: vm %d: %w", vm.ID, err)
+		}
+		c.loops = append(c.loops, loop)
+	}
+	return c, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (c *Controller) Name() string { return "VMEC" }
+
+// SetRRef records a per-server utilization target; at the next control epoch
+// it is broadcast to every VM loop resident there — the SM's coordination
+// channel, generalized from one loop to many.
+func (c *Controller) SetRRef(server int, rRef float64) {
+	if server >= 0 && server < len(c.targets) {
+		c.targets[server] = control.Clamp(rRef, 0.01, control.MaxRRef)
+	}
+}
+
+// RRef reports the server's current broadcast target.
+func (c *Controller) RRef(server int) float64 {
+	if server < 0 || server >= len(c.targets) {
+		return c.rRef0
+	}
+	return c.targets[server]
+}
+
+// Allocation reports a VM's current container size (telemetry for tests).
+func (c *Controller) Allocation(vmID int) float64 { return c.loops[vmID].F }
+
+// Tick steps every resident VM loop and arbitrates each powered server's
+// frequency to cover the sum of its allocations.
+func (c *Controller) Tick(k int, cl *cluster.Cluster) {
+	if k%c.Period != 0 {
+		return
+	}
+	for _, s := range cl.Servers {
+		if !s.On {
+			c.wasOn[s.ID] = false
+			continue
+		}
+		if !c.wasOn[s.ID] {
+			// Fresh boot: reset resident loops and the broadcast target.
+			c.targets[s.ID] = c.rRef0
+			for _, vmID := range s.VMs {
+				c.loops[vmID].F = 1.0 / float64(len(s.VMs))
+				c.loops[vmID].SetReference(c.rRef0)
+			}
+			c.wasOn[s.ID] = true
+		}
+		sum := 0.0
+		for _, vmID := range s.VMs {
+			vm := cl.VMs[vmID]
+			loop := c.loops[vmID]
+			loop.SetReference(c.targets[s.ID])
+			demand := 0.0
+			if cl.LastTick >= 0 {
+				demand = vm.Trace.At(cl.LastTick) * (1 + cl.Cfg.AlphaV)
+			}
+			// The VM's consumption of its container and the resulting
+			// utilization (the per-VM Appendix-A plant).
+			consumed := demand
+			if consumed > loop.F {
+				consumed = loop.F
+			}
+			u := 0.0
+			if loop.F > 0 {
+				u = consumed / loop.F
+			}
+			loop.StepEC(u, consumed)
+			sum += loop.F
+		}
+		// Arbitration: the platform covers the resident allocations.
+		if len(s.VMs) > 0 {
+			s.PState = s.Model.Quantize(s.Model.ClampFreq(sum * s.Model.MaxFreq()))
+		}
+	}
+}

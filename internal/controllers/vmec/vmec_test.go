@@ -1,0 +1,139 @@
+package vmec
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/testutil"
+	"nopower/internal/trace"
+)
+
+func run(cl *cluster.Cluster, c *Controller, from, ticks int) {
+	for k := from; k < from+ticks; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.2)
+	if _, err := New(cl, 0.8, 0.75, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := New(cl, -1, 0.75, 1); err == nil {
+		t.Error("negative lambda accepted")
+	}
+}
+
+// Per-VM allocations converge so each VM's container utilization tracks the
+// 75 % target: allocation ≈ demand/0.75.
+func TestAllocationsTrackPerVMDemand(t *testing.T) {
+	set := &trace.Set{Name: "mix", Traces: []*trace.Trace{
+		testutil.Flat("small", 1000, 0.10),
+		testutil.Flat("big", 1000, 0.30),
+	}}
+	cl := testutil.Cluster(t, testutil.Config(0, 0, 2), set)
+	// Co-locate both VMs on server 0.
+	if err := cl.Move(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(cl, 0.8, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(cl, c, 0, 400)
+	wantSmall := 0.10 * 1.1 / 0.75
+	wantBig := 0.30 * 1.1 / 0.75
+	if got := c.Allocation(0); math.Abs(got-wantSmall) > 0.03 {
+		t.Errorf("small VM allocation %.3f, want ~%.3f", got, wantSmall)
+	}
+	if got := c.Allocation(1); math.Abs(got-wantBig) > 0.03 {
+		t.Errorf("big VM allocation %.3f, want ~%.3f", got, wantBig)
+	}
+	// Arbitration: the platform frequency covers the summed allocations.
+	wantFreq := (wantSmall + wantBig) * cl.Servers[0].Model.MaxFreq()
+	wantState := cl.Servers[0].Model.Quantize(wantFreq)
+	if cl.Servers[0].PState != wantState {
+		t.Errorf("P-state %d, want %d (arbitrated sum)", cl.Servers[0].PState, wantState)
+	}
+}
+
+// Light total load must land the platform in a deep P-state (the whole point
+// of efficiency control), heavy load at P0.
+func TestPlatformFollowsAggregateLoad(t *testing.T) {
+	light := testutil.StandaloneCluster(t, 1, 500, 0.2)
+	c, _ := New(light, 0.8, 0.75, 1)
+	run(light, c, 0, 300)
+	if light.Servers[0].PState == 0 {
+		t.Error("light load left the platform at P0")
+	}
+	heavy := testutil.StandaloneCluster(t, 1, 500, 0.9)
+	c2, _ := New(heavy, 0.8, 0.75, 1)
+	heavy.Servers[0].PState = 4
+	run(heavy, c2, 0, 300)
+	if heavy.Servers[0].PState != 0 {
+		t.Errorf("heavy load settled at P%d, want P0", heavy.Servers[0].PState)
+	}
+}
+
+// The SM broadcast: raising the server's target shrinks every resident
+// allocation and deepens the platform P-state — capping works through the
+// same RRefSetter interface as the platform EC.
+func TestSetRRefBroadcastThrottles(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 1000, 0.6)
+	c, _ := New(cl, 0.8, 0.75, 1)
+	run(cl, c, 0, 300)
+	before := cl.Servers[0].PState
+	allocBefore := c.Allocation(0)
+	c.SetRRef(0, 1.3)
+	if got := c.RRef(0); got != 1.3 {
+		t.Errorf("RRef = %v", got)
+	}
+	run(cl, c, 300, 300)
+	if c.Allocation(0) >= allocBefore {
+		t.Errorf("allocation did not shrink (%.3f -> %.3f)", allocBefore, c.Allocation(0))
+	}
+	if cl.Servers[0].PState <= before {
+		t.Errorf("P-state did not deepen (%d -> %d)", before, cl.Servers[0].PState)
+	}
+}
+
+// Migrating a VM carries its loop along: the destination's arbitrated
+// frequency reflects the newcomer on the next epoch.
+func TestMigrationCarriesAllocation(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 1000, 0.3)
+	c, _ := New(cl, 0.8, 0.75, 1)
+	run(cl, c, 0, 300)
+	p1Before := cl.Servers[1].PState
+	if err := cl.Move(0, 1, 300); err != nil {
+		t.Fatal(err)
+	}
+	run(cl, c, 300, 200)
+	if cl.Servers[1].PState >= p1Before {
+		t.Errorf("destination did not speed up for the newcomer (%d -> %d)",
+			p1Before, cl.Servers[1].PState)
+	}
+}
+
+// A rebooted server resets the broadcast target and resident loops.
+func TestRebootResets(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 1000, 0.3)
+	c, _ := New(cl, 0.8, 0.75, 1)
+	run(cl, c, 0, 100)
+	c.SetRRef(1, 1.4)
+	if err := cl.Move(1, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PowerOff(1); err != nil {
+		t.Fatal(err)
+	}
+	run(cl, c, 100, 10)
+	if err := cl.Move(1, 1, 110); err != nil { // powers server 1 back on
+		t.Fatal(err)
+	}
+	run(cl, c, 110, 5)
+	if got := c.RRef(1); got != 0.75 {
+		t.Errorf("rebooted target = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package cooling implements the paper's named future work (§7): "we are
+// particularly interested in extending our architecture to include
+// coordination with the equivalent spectrum of solutions in the ... cooling
+// domains."
+//
+// The model: a CRAC (computer-room air conditioner) serves a thermal zone of
+// servers. Its efficiency (coefficient of performance, COP) improves with
+// warmer supply air — the classic data-center result that overcooling wastes
+// energy — but warmer supply air shrinks every server's thermal headroom:
+// steady server temperature is supply + P·R_th, so the sustainable per-server
+// power budget is (T_crit − margin − supply)/R_th.
+//
+// The zone manager closes exactly the kind of loop the paper's architecture
+// is built from: it picks the warmest supply temperature that keeps the
+// observed zone power thermally sustainable, and (coordinated mode) exposes
+// the resulting cooling-derived power budget to the group manager through
+// the same budget channel the GM already consumes — cooling and power
+// management meeting at a reference, not at a shared actuator.
+package cooling
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/thermal"
+)
+
+// CRAC models the air conditioner of one zone.
+type CRAC struct {
+	// SupplyC is the current supply-air temperature setpoint, °C.
+	SupplyC float64
+	// MinSupplyC and MaxSupplyC bound the setpoint (ASHRAE-style envelope).
+	MinSupplyC, MaxSupplyC float64
+	// COPAt15 is the coefficient of performance at a 15 °C setpoint.
+	COPAt15 float64
+	// COPSlope is the COP gain per °C of warmer supply air.
+	COPSlope float64
+}
+
+// DefaultCRAC returns a mainstream calibration: COP 3.5 at 15 °C improving
+// ~0.15 per °C, raised-floor envelope 15–27 °C.
+func DefaultCRAC() *CRAC {
+	return &CRAC{SupplyC: 15, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 3.5, COPSlope: 0.15}
+}
+
+// Validate rejects non-physical parameters.
+func (c *CRAC) Validate() error {
+	if c.MinSupplyC >= c.MaxSupplyC {
+		return fmt.Errorf("cooling: supply envelope [%v, %v]", c.MinSupplyC, c.MaxSupplyC)
+	}
+	if c.COPAt15 <= 0 || c.COPSlope < 0 {
+		return fmt.Errorf("cooling: COP model %v + %v/°C", c.COPAt15, c.COPSlope)
+	}
+	if c.SupplyC < c.MinSupplyC || c.SupplyC > c.MaxSupplyC {
+		return fmt.Errorf("cooling: setpoint %v outside envelope", c.SupplyC)
+	}
+	return nil
+}
+
+// COP returns the coefficient of performance at the current setpoint.
+func (c *CRAC) COP() float64 {
+	return c.COPAt15 + c.COPSlope*(c.SupplyC-15)
+}
+
+// CoolingPower returns the electrical power the CRAC draws to remove the
+// given IT heat load.
+func (c *CRAC) CoolingPower(heatW float64) float64 {
+	if heatW <= 0 {
+		return 0
+	}
+	return heatW / c.COP()
+}
+
+// Manager is the zone controller coordinating cooling with power management.
+type Manager struct {
+	// Period is the zone-control interval in ticks (slow, like the GM).
+	Period int
+	// CRAC is the controlled air conditioner.
+	CRAC *CRAC
+	// Thermal is the per-server thermal calibration; ambient tracks the
+	// CRAC setpoint.
+	Thermal thermal.Model
+	// MarginC is the safety margin kept below the trip temperature.
+	MarginC float64
+	// Coordinated, when true, exports the cooling-derived zone power budget
+	// to the group manager by tightening the cluster's group cap (min rule:
+	// never raises it above the operator's static budget).
+	Coordinated bool
+
+	operatorCapGrp float64   // the original CAP_GRP, remembered at first tick
+	operatorCapLoc []float64 // the original per-server CAP_LOC values
+	states         []*thermal.State
+	coolingEnergy  float64 // Σ cooling power per tick
+	maxTempC       float64
+	trips          int
+	ticks          int
+}
+
+// NewManager wires a zone manager over the whole cluster (one zone).
+func NewManager(crac *CRAC, tm thermal.Model, period int, coordinated bool) (*Manager, error) {
+	if crac == nil {
+		crac = DefaultCRAC()
+	}
+	if err := crac.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("cooling: period %d", period)
+	}
+	return &Manager{
+		Period:      period,
+		CRAC:        crac,
+		Thermal:     tm,
+		MarginC:     2,
+		Coordinated: coordinated,
+	}, nil
+}
+
+// Name implements the simulator's Controller interface.
+func (m *Manager) Name() string { return "COOL" }
+
+// Tick steps every server's temperature each tick (ambient = setpoint) and,
+// on zone epochs, re-optimizes the setpoint and the exported budget.
+func (m *Manager) Tick(k int, cl *cluster.Cluster) {
+	if m.states == nil {
+		m.states = make([]*thermal.State, len(cl.Servers))
+		tm := m.Thermal
+		tm.AmbientC = m.CRAC.SupplyC
+		for i := range m.states {
+			m.states[i] = thermal.NewState(tm)
+		}
+		m.operatorCapGrp = cl.StaticCapGrp
+		m.operatorCapLoc = make([]float64, len(cl.Servers))
+		for i, s := range cl.Servers {
+			m.operatorCapLoc[i] = s.StaticCap
+		}
+	}
+	// Thermal integration every tick at the current setpoint.
+	tm := m.Thermal
+	tm.AmbientC = m.CRAC.SupplyC
+	hottest := tm.AmbientC
+	for i, s := range cl.Servers {
+		p := s.Power
+		if !s.On {
+			p = 0
+		}
+		if m.states[i].Step(tm, p, k) {
+			m.trips++
+		}
+		if m.states[i].TempC > hottest {
+			hottest = m.states[i].TempC
+		}
+	}
+	if hottest > m.maxTempC {
+		m.maxTempC = hottest
+	}
+	m.coolingEnergy += m.CRAC.CoolingPower(cl.GroupPower)
+	m.ticks++
+
+	if k%m.Period != 0 {
+		return
+	}
+
+	// Setpoint optimization: the warmest supply air whose steady-state
+	// temperature for the hottest plausible server stays under trip−margin.
+	// The hottest plausible draw is the largest current per-server power
+	// (plus nothing: the budget channel below handles growth).
+	maxServerW := 0.0
+	for _, s := range cl.Servers {
+		if s.On && s.Power > maxServerW {
+			maxServerW = s.Power
+		}
+	}
+	target := m.Thermal.CritC - m.MarginC - maxServerW*m.Thermal.RthCPerW
+	if target < m.CRAC.MinSupplyC {
+		target = m.CRAC.MinSupplyC
+	}
+	if target > m.CRAC.MaxSupplyC {
+		target = m.CRAC.MaxSupplyC
+	}
+	m.CRAC.SupplyC = target
+
+	if m.Coordinated {
+		// Export the cooling-derived budgets. The temperature constraint is
+		// per machine — steady temp = supply + P·R_th — so at this setpoint
+		// each server can sustain (crit − margin − supply)/R_th Watts. That
+		// flows into the per-server thermal budget (min rule against the
+		// operator's CAP_LOC, so the SM enforces it), and its sum into the
+		// group budget (min rule against CAP_GRP, so the GM and the VMC's
+		// constraints see it too).
+		perServer := (m.Thermal.CritC - m.MarginC - m.CRAC.SupplyC) / m.Thermal.RthCPerW
+		if perServer < 0 {
+			perServer = 0
+		}
+		for i, s := range cl.Servers {
+			if perServer < m.operatorCapLoc[i] {
+				s.StaticCap = perServer
+			} else {
+				s.StaticCap = m.operatorCapLoc[i]
+			}
+		}
+		zoneCap := perServer * float64(len(cl.Servers))
+		if zoneCap < m.operatorCapGrp {
+			cl.StaticCapGrp = zoneCap
+		} else {
+			cl.StaticCapGrp = m.operatorCapGrp
+		}
+	}
+}
+
+// Stats reports the accumulated cooling telemetry.
+func (m *Manager) Stats() (avgCoolingW, maxTempC float64, trips int) {
+	if m.ticks == 0 {
+		return 0, 0, 0
+	}
+	return m.coolingEnergy / float64(m.ticks), m.maxTempC, m.trips
+}

@@ -1,0 +1,165 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/testutil"
+	"nopower/internal/thermal"
+)
+
+func TestCRACValidation(t *testing.T) {
+	if err := DefaultCRAC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*CRAC{
+		{SupplyC: 15, MinSupplyC: 27, MaxSupplyC: 15, COPAt15: 3.5},
+		{SupplyC: 15, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 0},
+		{SupplyC: 40, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 3.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("CRAC %d should be rejected", i)
+		}
+	}
+}
+
+func TestCOPImprovesWithWarmth(t *testing.T) {
+	c := DefaultCRAC()
+	cold := c.COP()
+	c.SupplyC = 25
+	warm := c.COP()
+	if warm <= cold {
+		t.Errorf("COP at 25 °C (%v) not above 15 °C (%v)", warm, cold)
+	}
+	// Same heat, less electricity when warm.
+	cWarm := c.CoolingPower(10000)
+	c.SupplyC = 15
+	cCold := c.CoolingPower(10000)
+	if cWarm >= cCold {
+		t.Errorf("warm cooling power %v not below cold %v", cWarm, cCold)
+	}
+	if c.CoolingPower(0) != 0 || c.CoolingPower(-5) != 0 {
+		t.Error("zero heat should cost nothing")
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, thermal.Default(), 0, true); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewManager(&CRAC{}, thermal.Default(), 50, true); err == nil {
+		t.Error("invalid CRAC accepted")
+	}
+	if _, err := NewManager(nil, thermal.Model{}, 50, true); err == nil {
+		t.Error("invalid thermal model accepted")
+	}
+	m, err := NewManager(nil, thermal.Default(), 50, true)
+	if err != nil || m.CRAC == nil {
+		t.Fatalf("default CRAC not supplied: %v", err)
+	}
+}
+
+// A lightly loaded zone lets the manager raise the setpoint (cheaper
+// cooling); a hot zone forces it back down.
+func TestSetpointFollowsLoad(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 2000, 0.1)
+	m, err := NewManager(nil, thermal.Default(), 25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 200; k++ {
+		m.Tick(k, cl)
+		cl.Advance(k)
+	}
+	coolSetpoint := m.CRAC.SupplyC
+	if coolSetpoint <= 15 {
+		t.Errorf("light load setpoint %v did not rise", coolSetpoint)
+	}
+
+	hot := testutil.StandaloneCluster(t, 4, 2000, 1.0) // ~100 W servers
+	m2, _ := NewManager(nil, thermal.Default(), 25, true)
+	for k := 0; k < 200; k++ {
+		m2.Tick(k, hot)
+		hot.Advance(k)
+	}
+	if m2.CRAC.SupplyC >= coolSetpoint {
+		t.Errorf("hot zone setpoint %v not below light-load %v", m2.CRAC.SupplyC, coolSetpoint)
+	}
+}
+
+// The coordinated manager exports a cooling-derived group budget via the min
+// rule, and never raises the operator's budget.
+func TestCoordinatedBudgetExport(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 2000, 1.0)
+	operator := cl.StaticCapGrp
+	m, _ := NewManager(nil, thermal.Default(), 25, true)
+	for k := 0; k < 200; k++ {
+		m.Tick(k, cl)
+		cl.Advance(k)
+	}
+	if cl.StaticCapGrp > operator+1e-9 {
+		t.Errorf("cooling manager raised the group budget: %v > %v", cl.StaticCapGrp, operator)
+	}
+	// Uncoordinated mode must leave the budget alone.
+	cl2 := testutil.StandaloneCluster(t, 4, 2000, 1.0)
+	operator2 := cl2.StaticCapGrp
+	m2, _ := NewManager(nil, thermal.Default(), 25, false)
+	for k := 0; k < 200; k++ {
+		m2.Tick(k, cl2)
+		cl2.Advance(k)
+	}
+	if cl2.StaticCapGrp != operator2 {
+		t.Error("uncoordinated manager touched the group budget")
+	}
+}
+
+// No thermal trips under the adaptive setpoint with moderate load, and the
+// temperature telemetry is sane.
+func TestNoTripsUnderAdaptiveSetpoint(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 6, 3000, 0.5)
+	m, _ := NewManager(nil, thermal.Default(), 25, true)
+	for k := 0; k < 1500; k++ {
+		m.Tick(k, cl)
+		cl.Advance(k)
+	}
+	avgCool, maxTemp, trips := m.Stats()
+	if trips != 0 {
+		t.Errorf("%d thermal trips under the safety margin", trips)
+	}
+	if maxTemp >= m.Thermal.CritC {
+		t.Errorf("max temp %.1f at/above trip %.1f", maxTemp, m.Thermal.CritC)
+	}
+	if avgCool <= 0 {
+		t.Error("no cooling energy recorded")
+	}
+}
+
+// The headline saving: adaptive setpoint cools the same IT load with less
+// electricity than a fixed cold setpoint.
+func TestAdaptiveBeatsFixedCold(t *testing.T) {
+	run := func(adaptive bool) float64 {
+		cl := testutil.StandaloneCluster(t, 6, 3000, 0.3)
+		m, _ := NewManager(nil, thermal.Default(), 25, true)
+		if !adaptive {
+			m.CRAC.MaxSupplyC = m.CRAC.MinSupplyC + 0.001 // pinned cold
+		}
+		for k := 0; k < 1000; k++ {
+			m.Tick(k, cl)
+			cl.Advance(k)
+		}
+		avg, _, trips := m.Stats()
+		if trips != 0 {
+			t.Fatalf("trips under adaptive=%v", adaptive)
+		}
+		return avg
+	}
+	adaptive := run(true)
+	fixed := run(false)
+	if adaptive >= fixed {
+		t.Errorf("adaptive cooling %v W not below fixed-cold %v W", adaptive, fixed)
+	}
+	if ratio := adaptive / fixed; math.IsNaN(ratio) || ratio > 0.95 {
+		t.Errorf("adaptive saving too small: ratio %.3f", ratio)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/sim"
+	"nopower/internal/testutil"
+)
+
+// The coordinated budget chain (Fig. 2): a tight group budget flows down
+// GM → EM → SM through the min rule, and the servers end up throttled
+// enough that the group honors it — without the GM ever touching a P-state.
+func TestMinRuleChainEnforcesGroupBudget(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 4, 0, 3000, 0.9) // hot: 8 blades near max
+	// Tighten the group budget well below what the static local caps allow.
+	cl.StaticCapGrp = 560 // 8 servers; unconstrained they'd draw ~95 W each
+
+	spec := Coordinated()
+	spec.EnableVMC = false // isolate the capping chain
+	spec.Periods = Periods{EC: 1, SM: 5, EM: 10, GM: 20, VMC: 1000}
+	eng, _, err := Build(cl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1500); err != nil {
+		t.Fatal(err)
+	}
+	// Steady state: with discrete P-states the group limit-cycles around the
+	// budget, so assert on the post-convergence average.
+	avg := meanGroupPower(t, eng, cl, 500)
+	if avg > cl.StaticCapGrp*1.05 {
+		t.Errorf("group averaged %.0f W over the %.0f W budget", avg, cl.StaticCapGrp)
+	}
+	// The chain acted through budgets, not direct state writes: every
+	// server's dynamic cap is at or below its static cap and above zero.
+	for _, s := range cl.Servers {
+		if s.DynCap > s.StaticCap+1e-9 || s.DynCap <= 0 {
+			t.Errorf("server %d dyn cap %.1f outside (0, %.1f]", s.ID, s.DynCap, s.StaticCap)
+		}
+	}
+}
+
+// The uncoordinated chain: the EM divides its STATIC enclosure budget,
+// ignoring the GM's tighter recommendation, so the per-server allocations it
+// hands out exceed what the group can afford — the "incorrectly conflict
+// with the local capper" problem of §2.3, second example. The coordinated
+// min rule keeps allocations consistent with the group grant.
+func TestUncoordinatedBudgetWritersConflict(t *testing.T) {
+	run := func(coordinated bool) (allocated, granted float64) {
+		cl := testutil.EnclosureCluster(t, 1, 4, 0, 3000, 0.9)
+		cl.StaticCapGrp = 280 // tight group budget, well under the 340 W enclosure cap
+
+		spec := Uncoordinated()
+		if coordinated {
+			spec = Coordinated()
+		}
+		spec.EnableVMC = false
+		spec.Periods = Periods{EC: 1, SM: 5, EM: 10, GM: 20, VMC: 1000}
+		eng, _, err := Build(cl, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Run(400); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range cl.Servers {
+			allocated += s.DynCap
+		}
+		return allocated, cl.Enclosures[0].DynCap
+	}
+
+	uAlloc, uGrant := run(false)
+	if uAlloc <= uGrant+1e-9 {
+		t.Errorf("uncoordinated EM allocated %.0f W within the GM grant %.0f W — expected the conflict",
+			uAlloc, uGrant)
+	}
+	if uAlloc <= 280 {
+		t.Errorf("uncoordinated allocations %.0f W respect the 280 W group budget — expected overcommit", uAlloc)
+	}
+
+	cAlloc, cGrant := run(true)
+	if cAlloc > cGrant+1e-9 {
+		t.Errorf("coordinated EM allocated %.0f W beyond the GM grant %.0f W", cAlloc, cGrant)
+	}
+}
+
+// Budget-change events propagate through the coordinated chain: after an
+// operator halves the group budget mid-run, the stack converges under it.
+func TestChainAdaptsToRuntimeBudgetCut(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 4, 0, 4000, 0.6)
+	spec := Coordinated()
+	spec.EnableVMC = false
+	spec.Periods = Periods{EC: 1, SM: 5, EM: 10, GM: 20, VMC: 1000}
+	eng, _, err := Build(cl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	// Cut to 85 % of the settled draw — tight but physically feasible
+	// (above the all-deepest-P-state floor of 8 × 64 W = 512 W).
+	newCap := cl.GroupPower * 0.85
+	if newCap < 520 {
+		newCap = 520
+	}
+	cl.StaticCapGrp = newCap
+	if _, err := eng.Run(1500); err != nil {
+		t.Fatal(err)
+	}
+	avg := meanGroupPower(t, eng, cl, 500)
+	if avg > newCap*1.05 {
+		t.Errorf("group averaged %.0f W; did not converge under the cut budget %.0f W",
+			avg, newCap)
+	}
+}
+
+// meanGroupPower runs the engine for extra ticks and averages the group
+// draw — the right lens for a quantized limit cycle around a cap.
+func meanGroupPower(t *testing.T, eng *sim.Engine, cl *cluster.Cluster, ticks int) float64 {
+	t.Helper()
+	sum := 0.0
+	for i := 0; i < ticks; i++ {
+		if _, err := eng.Run(1); err != nil {
+			t.Fatal(err)
+		}
+		sum += cl.GroupPower
+	}
+	return sum / float64(ticks)
+}

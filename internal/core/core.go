@@ -1,0 +1,411 @@
+// Package core assembles the paper's coordinated multi-level power
+// management architecture (Fig. 2) — and its deliberately broken variants —
+// from the five individual controllers.
+//
+// A Spec describes which controllers participate and how they are wired;
+// Build turns a Spec plus a cluster into a runnable simulation engine. The
+// presets reproduce the configurations of the evaluation:
+//
+//   - Coordinated():     the paper's design — SM actuates the EC's r_ref, EM/GM
+//     compose budgets with the min rule, the VMC uses real
+//     utilization, budget constraints, and violation feedback.
+//   - Uncoordinated():   five independent products — SM and EC fight over the
+//     P-state, EM/GM overwrite budgets last-writer-wins, the
+//     VMC consolidates on apparent utilization with no
+//     budget awareness (§2.3 "power struggles").
+//   - The Fig. 9 ablations: each coordination interface disabled one at a
+//     time (ApparentUtil / NoFeedback / NoBudgetLimits), plus the
+//     minimal-P-state variants of §5.3.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nopower/internal/cluster"
+	"nopower/internal/controllers/ec"
+	"nopower/internal/controllers/em"
+	"nopower/internal/controllers/gm"
+	"nopower/internal/controllers/pm"
+	"nopower/internal/controllers/sm"
+	"nopower/internal/controllers/vmc"
+	"nopower/internal/controllers/vmec"
+	"nopower/internal/cooling"
+	"nopower/internal/policy"
+	"nopower/internal/sim"
+	"nopower/internal/thermal"
+)
+
+// Periods holds the control intervals T_ec/T_sm/T_em/T_grp/T_vmc in ticks.
+type Periods struct {
+	EC, SM, EM, GM, VMC int
+}
+
+// DefaultPeriods returns the paper's base time constants 1/5/25/50/500
+// (Fig. 5).
+func DefaultPeriods() Periods {
+	return Periods{EC: 1, SM: 5, EM: 25, GM: 50, VMC: 500}
+}
+
+// Spec selects and wires a controller stack.
+type Spec struct {
+	// EnableEC/SM/EM/GM/VMC include the respective controller.
+	EnableEC, EnableSM, EnableEM, EnableGM, EnableVMC bool
+	// VMLevelEC replaces the platform efficiency controller with per-VM
+	// utilization loops plus sum-arbitration (§6.1 extension 4). Requires
+	// EnableEC.
+	VMLevelEC bool
+	// Coordinated selects the paper's wiring (r_ref channel, min rule);
+	// false reproduces the independent-products deployment.
+	Coordinated bool
+	// VMCRealUtil/VMCBudgets/VMCFeedback override the VMC coordination
+	// interfaces; nil follows Coordinated. Used for the Fig. 9 ablations.
+	VMCRealUtil, VMCBudgets, VMCFeedback *bool
+	// AllowOff permits the VMC to power emptied machines down (§5.4).
+	AllowOff bool
+	// Periods are the five control intervals.
+	Periods Periods
+	// Lambda is the EC gain (0 = paper default 0.8).
+	Lambda float64
+	// Beta is the SM gain (0 = half the per-model Appendix-A bound).
+	Beta float64
+	// RRef is the EC's initial utilization target (0 = 0.75).
+	RRef float64
+	// Policy names the EM/GM budget-division policy ("" = proportional).
+	Policy string
+	// MigrationWeight is the VMC objective weight per migration in
+	// Watts-equivalents (0 = 5).
+	MigrationWeight float64
+	// PackFraction bounds VMC packing density (0 = 0.85).
+	PackFraction float64
+	// ElectricalCap adds the optional per-server CAP block at this budget
+	// in Watts (0 = absent).
+	ElectricalCap float64
+	// DelayWeight switches the VMC toward an energy-delay objective (§6.1
+	// extension 6); 0 keeps the paper's pure-power objective.
+	DelayWeight float64
+	// EnableCooling adds the §7 future-work zone manager: a CRAC whose
+	// setpoint adapts to the thermal headroom, exporting a cooling-derived
+	// group budget when Coordinated.
+	EnableCooling bool
+	// EnablePM adds the §7 future-work performance manager: SLO telemetry
+	// that (when Coordinated) feeds the VMC's packing-headroom buffer.
+	EnablePM bool
+	// SLO is the performance manager's served-fraction objective (0 = 0.95).
+	SLO float64
+	// Seed drives any stochastic policy (e.g. random division).
+	Seed int64
+}
+
+// Coordinated returns the paper's base coordinated stack.
+func Coordinated() Spec {
+	return Spec{
+		EnableEC: true, EnableSM: true, EnableEM: true, EnableGM: true, EnableVMC: true,
+		Coordinated: true,
+		AllowOff:    true,
+		Periods:     DefaultPeriods(),
+	}
+}
+
+// Uncoordinated returns the five-independent-products deployment of §2.3.
+func Uncoordinated() Spec {
+	s := Coordinated()
+	s.Coordinated = false
+	return s
+}
+
+// boolPtr helps build ablation specs.
+func boolPtr(b bool) *bool { return &b }
+
+// CoordinatedApparentUtil disables only the real-utilization correction
+// (Fig. 9 row "Coordinated, appr util").
+func CoordinatedApparentUtil() Spec {
+	s := Coordinated()
+	s.VMCRealUtil = boolPtr(false)
+	return s
+}
+
+// CoordinatedNoFeedback disables only the violation-feedback buffers
+// (Fig. 9 row "Coordinated, no feedback").
+func CoordinatedNoFeedback() Spec {
+	s := Coordinated()
+	s.VMCFeedback = boolPtr(false)
+	return s
+}
+
+// CoordinatedNoBudgetLimits disables only the budget constraints in the
+// packer (Fig. 9 row "Coordinated, no budget limits").
+func CoordinatedNoBudgetLimits() Spec {
+	s := Coordinated()
+	s.VMCBudgets = boolPtr(false)
+	return s
+}
+
+// NoVMC is the coordinated stack with consolidation off (Fig. 8).
+func NoVMC() Spec {
+	s := Coordinated()
+	s.EnableVMC = false
+	return s
+}
+
+// VMCOnly is consolidation alone: no local/enclosure/group power control
+// (Fig. 8).
+func VMCOnly() Spec {
+	s := Coordinated()
+	s.EnableEC, s.EnableSM, s.EnableEM, s.EnableGM = false, false, false, false
+	return s
+}
+
+// SpecByName resolves a stack preset by its CLI name. Known names:
+// coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
+// nobudgets, vmlevel, energydelay, none.
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case "coordinated":
+		return Coordinated(), nil
+	case "uncoordinated":
+		return Uncoordinated(), nil
+	case "novmc":
+		return NoVMC(), nil
+	case "vmconly":
+		return VMCOnly(), nil
+	case "apprutil":
+		return CoordinatedApparentUtil(), nil
+	case "nofeedback":
+		return CoordinatedNoFeedback(), nil
+	case "nobudgets":
+		return CoordinatedNoBudgetLimits(), nil
+	case "vmlevel":
+		s := Coordinated()
+		s.VMLevelEC = true
+		return s, nil
+	case "energydelay":
+		s := Coordinated()
+		s.DelayWeight = 300
+		return s, nil
+	case "slo":
+		s := Coordinated()
+		s.EnablePM = true
+		return s, nil
+	case "none":
+		s := Coordinated()
+		s.EnableEC, s.EnableSM, s.EnableEM, s.EnableGM, s.EnableVMC = false, false, false, false, false
+		return s, nil
+	}
+	return Spec{}, fmt.Errorf("core: unknown stack %q", name)
+}
+
+// StackNames lists the presets SpecByName accepts.
+func StackNames() []string {
+	return []string{"coordinated", "uncoordinated", "novmc", "vmconly",
+		"apprutil", "nofeedback", "nobudgets", "vmlevel", "energydelay", "slo", "none"}
+}
+
+// Handles exposes the built controllers for telemetry and tests. Fields are
+// nil when the Spec disabled the controller.
+type Handles struct {
+	EC      *ec.Controller
+	VMEC    *vmec.Controller
+	SM      *sm.Controller
+	EM      *em.Controller
+	GM      *gm.Controller
+	VMC     *vmc.Controller
+	CAP     *sm.ElectricalCapper
+	Cooling *cooling.Manager
+	PM      *pm.Controller
+}
+
+// Build wires the stack onto a cluster and returns a runnable engine.
+// Controllers are registered coarsest-first (VMC, GM, EM, SM, EC, CAP) so
+// budget recommendations flow down within a tick; in the uncoordinated
+// deployment the same order reproduces the EC-overwrites-SM race the paper
+// describes, because the EC acts last on the shared P-state knob.
+func Build(cl *cluster.Cluster, spec Spec) (*sim.Engine, *Handles, error) {
+	if spec.Periods == (Periods{}) {
+		spec.Periods = DefaultPeriods()
+	}
+	if spec.Lambda == 0 {
+		spec.Lambda = ec.DefaultLambda
+	}
+	if spec.RRef == 0 {
+		spec.RRef = ec.DefaultRRef
+	}
+	if spec.MigrationWeight == 0 {
+		spec.MigrationWeight = 5
+	}
+	if spec.PackFraction == 0 {
+		// The coordinated VMC leaves control headroom; the naive one packs
+		// to the hilt — part of what makes it dangerous (§2.3).
+		if spec.Coordinated {
+			spec.PackFraction = 0.85
+		} else {
+			spec.PackFraction = 1.0
+		}
+	}
+
+	pol, err := policy.ByName(spec.Policy, rand.New(rand.NewSource(spec.Seed)))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	h := &Handles{}
+	var stack []sim.Controller
+
+	if spec.EnableCooling {
+		// The zone manager runs first (coarsest domain): its budget export
+		// lands before the GM divides the group budget this tick.
+		h.Cooling, err = cooling.NewManager(nil, thermal.Default(), spec.Periods.GM, spec.Coordinated)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.Cooling)
+	}
+	if spec.EnableVMC {
+		headroom := 0.5 // variability margin over the mean demand estimate
+		if !spec.Coordinated {
+			headroom = 0 // the naive consolidator packs on the raw mean
+		}
+		cfg := vmc.Config{
+			Period:          spec.Periods.VMC,
+			UseRealUtil:     orDefault(spec.VMCRealUtil, spec.Coordinated),
+			UseBudgets:      orDefault(spec.VMCBudgets, spec.Coordinated),
+			UseFeedback:     orDefault(spec.VMCFeedback, spec.Coordinated),
+			AllowOff:        spec.AllowOff,
+			PackFraction:    spec.PackFraction,
+			MigrationWeight: spec.MigrationWeight,
+			AssumeEC:        spec.EnableEC && spec.Coordinated,
+			RRef:            spec.RRef,
+			DelayWeight:     spec.DelayWeight,
+			Headroom:        headroom,
+			BufferStep:      0.15,
+			BufferDecay:     0.02,
+			BufferMax:       0.10,
+		}
+		h.VMC, err = vmc.New(cl, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.VMC)
+	}
+	if spec.EnableGM {
+		mode := gm.Uncoordinated
+		if spec.Coordinated {
+			mode = gm.Coordinated
+		}
+		h.GM, err = gm.New(mode, pol, spec.Periods.GM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.GM)
+	}
+	if spec.EnableEM {
+		mode := em.Uncoordinated
+		if spec.Coordinated {
+			mode = em.Coordinated
+		}
+		h.EM, err = em.New(mode, pol, spec.Periods.EM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.EM)
+	}
+
+	var ecCtrl sim.Controller
+	var ecSetter sm.RRefSetter
+	if spec.EnableEC {
+		if spec.VMLevelEC {
+			h.VMEC, err = vmec.New(cl, spec.Lambda, spec.RRef, spec.Periods.EC)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %w", err)
+			}
+			ecCtrl, ecSetter = h.VMEC, h.VMEC
+		} else {
+			h.EC, err = ec.New(cl, spec.Lambda, spec.RRef, spec.Periods.EC)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %w", err)
+			}
+			ecCtrl, ecSetter = h.EC, h.EC
+		}
+	}
+	if spec.EnableSM {
+		mode := sm.Uncoordinated
+		var ecIface sm.RRefSetter
+		if spec.Coordinated {
+			if ecSetter == nil {
+				return nil, nil, fmt.Errorf("core: coordinated SM requires the EC")
+			}
+			mode = sm.Coordinated
+			ecIface = ecSetter
+		}
+		h.SM, err = sm.New(cl, ecIface, mode, spec.Beta, spec.Periods.SM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	// Coordinated: SM runs before the EC (it only moves r_ref; the EC then
+	// actuates). Uncoordinated: the EC runs first and the SM clamps after it
+	// — each writer alternately wins the shared P-state knob, so the cap
+	// holds for one tick per SM epoch and is overwritten for the rest, the
+	// interleaving the paper's §2.3 first example describes.
+	if spec.Coordinated {
+		if h.SM != nil {
+			stack = append(stack, h.SM)
+		}
+		if ecCtrl != nil {
+			stack = append(stack, ecCtrl)
+		}
+	} else {
+		if ecCtrl != nil {
+			stack = append(stack, ecCtrl)
+		}
+		if h.SM != nil {
+			stack = append(stack, h.SM)
+		}
+	}
+	if spec.EnablePM {
+		slo := spec.SLO
+		if slo == 0 {
+			slo = pm.DefaultSLO
+		}
+		h.PM, err = pm.New(slo, spec.Periods.SM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.PM)
+	}
+	if spec.ElectricalCap > 0 {
+		h.CAP, err = sm.NewElectricalCapper(spec.ElectricalCap)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		stack = append(stack, h.CAP)
+	}
+
+	// Wire the violation telemetry into the VMC only in the coordinated
+	// design (Fig. 4's "expose power budget violations to VMC").
+	if h.VMC != nil && spec.Coordinated {
+		var smSrc, emSrc, gmSrc vmc.ViolationSource
+		if h.SM != nil {
+			smSrc = h.SM
+		}
+		if h.EM != nil {
+			emSrc = h.EM
+		}
+		if h.GM != nil {
+			gmSrc = h.GM
+		}
+		h.VMC.AttachViolationSources(smSrc, emSrc, gmSrc)
+		if h.PM != nil {
+			h.VMC.AttachPerfSource(h.PM)
+		}
+	}
+
+	return sim.New(cl, stack...), h, nil
+}
+
+func orDefault(v *bool, def bool) bool {
+	if v != nil {
+		return *v
+	}
+	return def
+}

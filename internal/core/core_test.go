@@ -1,0 +1,251 @@
+package core
+
+import (
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/metrics"
+	"nopower/internal/testutil"
+	"nopower/internal/trace"
+)
+
+// fastPeriods shrinks the time constants so integration tests stay quick
+// while preserving the paper's 1:5:25:50:500 ratios' ordering.
+func fastPeriods() Periods { return Periods{EC: 1, SM: 5, EM: 10, GM: 20, VMC: 50} }
+
+func buildAndRun(t *testing.T, cl *cluster.Cluster, spec Spec, ticks int) (metrics.Result, *Handles) {
+	t.Helper()
+	eng, h, err := Build(cl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Paranoid = true
+	col, err := eng.Run(ticks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := col.Finalize(0)
+	if err := res.Valid(); err != nil {
+		t.Fatal(err)
+	}
+	return res, h
+}
+
+func TestBuildWiresHandles(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 4, 2, 200, 0.3)
+	_, h, err := Build(cl, Coordinated())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.EC == nil || h.SM == nil || h.EM == nil || h.GM == nil || h.VMC == nil {
+		t.Error("coordinated stack missing controllers")
+	}
+	if h.CAP != nil {
+		t.Error("CAP present without an electrical budget")
+	}
+}
+
+func TestBuildPresets(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 4, 2, 200, 0.3)
+	if _, h, err := Build(cl, NoVMC()); err != nil || h.VMC != nil {
+		t.Error("NoVMC should drop the VMC")
+	}
+	if _, h, err := Build(cl, VMCOnly()); err != nil ||
+		h.VMC == nil || h.EC != nil || h.SM != nil || h.EM != nil || h.GM != nil {
+		t.Error("VMCOnly should keep only the VMC")
+	}
+	spec := Coordinated()
+	spec.ElectricalCap = 95
+	if _, h, err := Build(cl, spec); err != nil || h.CAP == nil {
+		t.Error("ElectricalCap should add the CAP block")
+	}
+	spec = Coordinated()
+	spec.Policy = "bogus"
+	if _, _, err := Build(cl, spec); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	spec = Coordinated()
+	spec.EnableEC = false
+	if _, _, err := Build(cl, spec); err == nil {
+		t.Error("coordinated SM without EC accepted")
+	}
+}
+
+// End-to-end restatement of the paper's §5.1 claim on a small cluster:
+// coordination reduces budget violations versus the uncoordinated stack.
+func TestCoordinationReducesViolations(t *testing.T) {
+	mk := func() *cluster.Cluster {
+		// Moderately hot: some servers violate caps at P0.
+		set := &trace.Set{Name: "hot"}
+		for i := 0; i < 8; i++ {
+			level := 0.8 + 0.15*float64(i%3) // 0.8..1.1: P0 power over the 90 W cap
+			set.Traces = append(set.Traces, testutil.Flat("w", 2000, level))
+		}
+		return testutil.Cluster(t, testutil.Config(1, 4, 4), set)
+	}
+	spec := Coordinated()
+	spec.Periods = fastPeriods()
+	coord, _ := buildAndRun(t, mk(), spec, 1500)
+
+	spec = Uncoordinated()
+	spec.Periods = fastPeriods()
+	uncoord, _ := buildAndRun(t, mk(), spec, 1500)
+
+	if coord.ViolSM >= uncoord.ViolSM {
+		t.Errorf("coordinated SM violations %.3f not below uncoordinated %.3f",
+			coord.ViolSM, uncoord.ViolSM)
+	}
+}
+
+// Both stacks must save power versus no management at all.
+func TestStacksSavePower(t *testing.T) {
+	mk := func() *cluster.Cluster {
+		return testutil.Cluster(t, testutil.Config(1, 4, 4), testutil.FlatSet(8, 2000, 0.2))
+	}
+	base, _ := buildAndRun(t, mk(), Spec{Periods: fastPeriods()}, 1000) // no controllers
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"coordinated", Coordinated()},
+		{"uncoordinated", Uncoordinated()},
+		{"novmc", NoVMC()},
+		{"vmconly", VMCOnly()},
+	} {
+		tc.spec.Periods = fastPeriods()
+		res, _ := buildAndRun(t, mk(), tc.spec, 1000)
+		if res.AvgPower >= base.AvgPower {
+			t.Errorf("%s: avg power %.0f W not below unmanaged %.0f W",
+				tc.name, res.AvgPower, base.AvgPower)
+		}
+	}
+}
+
+// The VMC dominates savings on low-utilization workloads (Fig. 8's headline).
+func TestVMCDominatesSavingsAtLowUtilization(t *testing.T) {
+	mk := func() *cluster.Cluster {
+		return testutil.Cluster(t, testutil.Config(1, 4, 4), testutil.FlatSet(8, 2000, 0.15))
+	}
+	specN, specV := NoVMC(), VMCOnly()
+	specN.Periods, specV.Periods = fastPeriods(), fastPeriods()
+	noVMC, _ := buildAndRun(t, mk(), specN, 1000)
+	vmcOnly, _ := buildAndRun(t, mk(), specV, 1000)
+	if vmcOnly.AvgPower >= noVMC.AvgPower {
+		t.Errorf("VMCOnly %.0f W should beat NoVMC %.0f W at low utilization",
+			vmcOnly.AvgPower, noVMC.AvgPower)
+	}
+}
+
+// Ablation wiring: each Fig. 9 variant flips exactly its own switch.
+func TestAblationSpecs(t *testing.T) {
+	cases := []struct {
+		spec      Spec
+		real, bud bool
+		feed      bool
+	}{
+		{Coordinated(), true, true, true},
+		{CoordinatedApparentUtil(), false, true, true},
+		{CoordinatedNoFeedback(), true, true, false},
+		{CoordinatedNoBudgetLimits(), true, false, true},
+	}
+	for i, c := range cases {
+		if got := orDefault(c.spec.VMCRealUtil, c.spec.Coordinated); got != c.real {
+			t.Errorf("case %d: real util = %v", i, got)
+		}
+		if got := orDefault(c.spec.VMCBudgets, c.spec.Coordinated); got != c.bud {
+			t.Errorf("case %d: budgets = %v", i, got)
+		}
+		if got := orDefault(c.spec.VMCFeedback, c.spec.Coordinated); got != c.feed {
+			t.Errorf("case %d: feedback = %v", i, got)
+		}
+	}
+}
+
+// Electrical capper integration: with a CAP block the per-server power never
+// exceeds the electrical budget for longer than the plant's one-tick lag.
+func TestElectricalCapperEnforcesFuse(t *testing.T) {
+	set := testutil.FlatSet(4, 2000, 1.1) // saturating
+	cl := testutil.Cluster(t, testutil.Config(0, 0, 4), set)
+	spec := Coordinated()
+	spec.EnableVMC = false
+	spec.Periods = fastPeriods()
+	spec.ElectricalCap = 70
+	eng, _, err := Build(cl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range cl.Servers {
+		if s.Power > 70+1e-9 {
+			t.Errorf("server %d at %.1f W over the 70 W fuse", s.ID, s.Power)
+		}
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	for _, name := range StackNames() {
+		spec, err := SpecByName(name)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", name, err)
+			continue
+		}
+		// Every named preset must build on a small cluster.
+		cl := testutil.EnclosureCluster(t, 1, 2, 2, 50, 0.3)
+		if _, _, err := Build(cl, spec); err != nil {
+			t.Errorf("preset %q does not build: %v", name, err)
+		}
+	}
+	if _, err := SpecByName("bogus"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if s, _ := SpecByName("vmlevel"); !s.VMLevelEC {
+		t.Error("vmlevel preset lacks the flag")
+	}
+	if s, _ := SpecByName("energydelay"); s.DelayWeight <= 0 {
+		t.Error("energydelay preset lacks the weight")
+	}
+}
+
+// VM-level EC (§6.1 extension 4): the stack builds, runs, caps, and saves
+// power comparably to the platform EC.
+func TestVMLevelECStack(t *testing.T) {
+	mk := func() *cluster.Cluster {
+		return testutil.Cluster(t, testutil.Config(1, 4, 4), testutil.FlatSet(8, 2000, 0.2))
+	}
+	spec := Coordinated()
+	spec.Periods = fastPeriods()
+	platform, _ := buildAndRun(t, mk(), spec, 1200)
+
+	spec.VMLevelEC = true
+	res, h := buildAndRun(t, mk(), spec, 1200)
+	if h.VMEC == nil || h.EC != nil {
+		t.Fatal("VMLevelEC did not swap the controller")
+	}
+	if res.AvgPower > platform.AvgPower*1.15 {
+		t.Errorf("VM-level EC power %.0f W far above platform EC %.0f W",
+			res.AvgPower, platform.AvgPower)
+	}
+	if res.ViolSM > platform.ViolSM+0.05 {
+		t.Errorf("VM-level EC violations %.3f far above platform %.3f",
+			res.ViolSM, platform.ViolSM)
+	}
+}
+
+// Determinism: identical builds on identical clusters produce identical
+// results (the whole system is seeded).
+func TestEndToEndDeterminism(t *testing.T) {
+	mk := func() *cluster.Cluster {
+		return testutil.Cluster(t, testutil.Config(1, 4, 0), testutil.FlatSet(4, 1000, 0.3))
+	}
+	spec := Coordinated()
+	spec.Periods = fastPeriods()
+	spec.Policy = "random"
+	spec.Seed = 7
+	a, _ := buildAndRun(t, mk(), spec, 800)
+	b, _ := buildAndRun(t, mk(), spec, 800)
+	if a.AvgPower != b.AvgPower || a.PerfLoss != b.PerfLoss || a.ViolSM != b.ViolSM {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/trace"
+)
+
+// Assemble and run the paper's coordinated stack on a four-server cluster
+// with constant light demand: the VMC consolidates and powers machines off.
+func ExampleBuild() {
+	// Four flat 20 % workloads on four blades.
+	set := &trace.Set{Name: "demo"}
+	for i := 0; i < 4; i++ {
+		d := make([]float64, 600)
+		for k := range d {
+			d[k] = 0.2
+		}
+		set.Traces = append(set.Traces, &trace.Trace{Name: "w", Class: "flat", Demand: d})
+	}
+	cl, _ := cluster.New(cluster.Config{
+		Standalone: 4, Model: model.BladeA(),
+		CapOffGrp: 0.20, CapOffEnc: 0.15, CapOffLoc: 0.10,
+		AlphaV: 0.10, AlphaM: 0.10, MigrationTicks: 10,
+	}, set)
+
+	spec := core.Coordinated()
+	spec.Periods = core.Periods{EC: 1, SM: 5, EM: 10, GM: 20, VMC: 100}
+	engine, _, _ := core.Build(cl, spec)
+	engine.Run(600)
+
+	fmt.Printf("servers on: %d of 4\n", cl.OnCount())
+	// Output: servers on: 2 of 4
+}

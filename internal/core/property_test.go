@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/testutil"
+	"nopower/internal/trace"
+)
+
+// Fuzz-style whole-system property test: random small clusters, random
+// workload levels, random stack presets — and the physical invariants must
+// hold at every tick:
+//
+//   - group power within [0, Σ max power]
+//   - delivered work never exceeds demanded work
+//   - placement bookkeeping consistent (paranoid mode)
+//   - every P-state within its model's ladder
+func TestSystemInvariantsUnderRandomConfigs(t *testing.T) {
+	presets := StackNames()
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		blades := 2 + rng.Intn(4)
+		standalone := rng.Intn(4)
+		n := blades + standalone
+		set := &trace.Set{Name: "fuzz"}
+		for i := 0; i < n; i++ {
+			level := 0.05 + rng.Float64()*1.1
+			set.Traces = append(set.Traces, testutil.Flat("w", 600, level))
+		}
+		cl, err := cluster.New(testutil.Config(1, blades, standalone), set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := SpecByName(presets[trial%len(presets)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Periods = Periods{EC: 1, SM: 3, EM: 7, GM: 13, VMC: 40}
+		spec.Seed = int64(trial)
+		eng, _, err := Build(cl, spec)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		eng.Paranoid = true
+		maxPower := cl.MaxGroupPower()
+		eng.OnTick = func(k int, c *cluster.Cluster) {
+			if c.GroupPower < -1e-9 || c.GroupPower > maxPower+1e-9 {
+				t.Fatalf("trial %d tick %d: group power %v outside [0, %v]",
+					trial, k, c.GroupPower, maxPower)
+			}
+			if c.DeliveredWork > c.DemandWork+1e-9 {
+				t.Fatalf("trial %d tick %d: delivered %v exceeds demand %v",
+					trial, k, c.DeliveredWork, c.DemandWork)
+			}
+			for _, s := range c.Servers {
+				if s.PState < 0 || s.PState >= s.Model.NumPStates() {
+					t.Fatalf("trial %d tick %d: server %d P-state %d out of ladder",
+						trial, k, s.ID, s.PState)
+				}
+			}
+		}
+		if _, err := eng.Run(500); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/model"
+	"nopower/internal/platform"
+	"nopower/internal/report"
+	"nopower/internal/sim"
+	"nopower/internal/tracegen"
+)
+
+// Extensions exercises the §6.1 extension catalogue that goes beyond the
+// five base controllers: VM-level efficiency control with arbitration (4),
+// the energy-delay objective (6), the electrical capper (2), heterogeneous
+// fleets (5), and the MIMO component/platform coordination (1, 3).
+func Extensions(opts Options) ([]*report.Table, error) {
+	opts = opts.normalized()
+	var tables []*report.Table
+
+	t1, err := extensionStacks(opts)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t1)
+
+	t2, err := extensionHeterogeneous(opts)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t2)
+
+	t3, err := extensionMIMO()
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t3)
+
+	t4, err := extensionRack(opts)
+	if err != nil {
+		return nil, err
+	}
+	tables = append(tables, t4)
+
+	return tables, nil
+}
+
+// extensionRack nests the MIMO platform cappers under a rack manager — the
+// §6.1(1) component↔platform↔rack analogue of GM→EM→SM — and sweeps the
+// rack budget headroom.
+func extensionRack(opts Options) (*report.Table, error) {
+	t := &report.Table{
+		Title:  "§6.1 extension 1 — rack of MIMO platforms (8 machines, mixed classes, nested budgets)",
+		Note:   "Rack manager re-provisions platform budgets by proportional share + min rule; each platform co-selects CPU/mem/disk states.",
+		Header: []string{"Rack headroom", "Avg power (W)", "Served (%)", "Rack viol (%)", "Local viol (%)"},
+	}
+	ticks := opts.Ticks
+	if ticks > 1500 {
+		ticks = 1500 // the rack simulation is per-tick exhaustive-optimize
+	}
+	for _, offRack := range []float64{0.10, 0.25, 0.40} {
+		r, err := platform.NewRack(8, ticks, opts.Seed, 1.8, offRack, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.Run(ticks, 25)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", offRack*100), report.Watts(res.AvgPower),
+			report.Pct(res.AvgServed), report.Pct(res.RackViolations), report.Pct(res.LocalViolations))
+	}
+	return t, nil
+}
+
+// extensionStacks compares the base coordinated stack against the VM-level
+// EC wiring, the energy-delay objective, and the added electrical capper on
+// the standard BladeA/180 scenario.
+func extensionStacks(opts Options) (*report.Table, error) {
+	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
+		Ticks: opts.Ticks, Seed: opts.Seed}
+	baseline, err := cachedBaseline(sc)
+	if err != nil {
+		return nil, err
+	}
+	vmLevel := core.Coordinated()
+	vmLevel.VMLevelEC = true
+	energyDelay := core.Coordinated()
+	energyDelay.DelayWeight = 300
+	capped := core.Coordinated()
+	capped.ElectricalCap = 0.95 * model.BladeA().MaxPower()
+	slo := core.Coordinated()
+	slo.EnablePM = true
+
+	t := &report.Table{
+		Title:  "§6.1 extensions — alternative wirings on BladeA/180 (coordinated base, %)",
+		Note:   "VM-level EC = per-VM loops + sum arbitration (ext. 4); energy-delay = packing objective with a delay term (ext. 6); +CAP = electrical capper (ext. 2); Perf-SLO = §7 performance manager feeding the packing-headroom buffer.",
+		Header: []string{"Variant", "Pwr-save", "Perf-loss", "Viol(SM)", "Viol(GM)"},
+	}
+	for _, v := range []struct {
+		name string
+		spec core.Spec
+	}{
+		{"Coordinated (base)", core.Coordinated()},
+		{"VM-level EC", vmLevel},
+		{"Energy-delay objective", energyDelay},
+		{"Base + electrical CAP", capped},
+		{"Perf-SLO manager (§7)", slo},
+	} {
+		res, err := RunVsBaseline(sc, v.spec, baseline)
+		if err != nil {
+			return nil, fmt.Errorf("extensions %q: %w", v.name, err)
+		}
+		t.AddRow(v.name, report.Pct(res.PowerSavings), report.Pct(res.PerfLoss),
+			report.Pct(res.ViolSM), report.Pct(res.ViolGM))
+	}
+	return t, nil
+}
+
+// extensionHeterogeneous runs the coordinated stack over a half-BladeA,
+// half-ServerB fleet (§6.1 extension 5): "easily addressed by including a
+// range of different models in the controllers".
+func extensionHeterogeneous(opts Options) (*report.Table, error) {
+	set, err := tracegen.BuildMix(tracegen.Mix180, opts.Ticks, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Build the mixed cluster: blades stay BladeA, standalone become ServerB.
+	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
+		Ticks: opts.Ticks, Seed: opts.Seed}
+	cl, err := sc.clusterFromSet(set)
+	if err != nil {
+		return nil, err
+	}
+	for _, sid := range cl.StandaloneServers() {
+		if err := cl.SetModel(sid, model.ServerB()); err != nil {
+			return nil, err
+		}
+	}
+	baseline := 0.0
+	{
+		bset, err := tracegen.BuildMix(tracegen.Mix180, opts.Ticks, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bcl, err := sc.clusterFromSet(bset)
+		if err != nil {
+			return nil, err
+		}
+		for _, sid := range bcl.StandaloneServers() {
+			if err := bcl.SetModel(sid, model.ServerB()); err != nil {
+				return nil, err
+			}
+		}
+		col, err := sim.New(bcl).Run(opts.Ticks)
+		if err != nil {
+			return nil, err
+		}
+		baseline = col.Finalize(0).AvgPower
+	}
+
+	eng, _, err := core.Build(cl, core.Coordinated())
+	if err != nil {
+		return nil, err
+	}
+	col, err := eng.Run(opts.Ticks)
+	if err != nil {
+		return nil, err
+	}
+	res := col.Finalize(baseline)
+	if err := res.Valid(); err != nil {
+		return nil, err
+	}
+
+	bladesOn, serversOn := 0, 0
+	for _, s := range cl.Servers {
+		if !s.On {
+			continue
+		}
+		if s.Model.Name == "BladeA" {
+			bladesOn++
+		} else {
+			serversOn++
+		}
+	}
+	t := &report.Table{
+		Title:  "§6.1 extension 5 — heterogeneous fleet: 120 BladeA blades + 60 ServerB standalone, 180 mix",
+		Note:   "One coordinated stack over mixed hardware; per-server models flow through every controller.",
+		Header: []string{"Pwr-save", "Perf-loss", "Viol(SM)", "BladeA on", "ServerB on"},
+	}
+	t.AddRow(report.Pct(res.PowerSavings), report.Pct(res.PerfLoss), report.Pct(res.ViolSM),
+		fmt.Sprintf("%d/120", bladesOn), fmt.Sprintf("%d/60", serversOn))
+	return t, nil
+}
+
+// extensionMIMO sweeps the platform budget of the Standard three-component
+// platform and reports the MIMO controller's served fraction and chosen
+// state vector — the component/platform coordination of §6.1(1,3).
+func extensionMIMO() (*report.Table, error) {
+	p := platform.Standard()
+	d := platform.Demand{0.6, 0.4, 0.3}
+	t := &report.Table{
+		Title:  "§6.1 extensions 1+3 — MIMO component/platform capping (CPU+mem+disk, demand 0.6/0.4/0.3)",
+		Note:   "Joint state selection under a platform budget; the bottleneck law couples the knobs.",
+		Header: []string{"Budget (W)", "Served (%)", "Power (W)", "States (cpu/mem/disk)"},
+	}
+	for _, frac := range []float64{1.0, 0.85, 0.7, 0.55, 0.4} {
+		budget := frac * p.MaxPower()
+		states, served, power, ok, err := p.Optimize(d, budget)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("P%d/P%d/P%d", states[0], states[1], states[2])
+		if !ok {
+			label += " (budget infeasible: max throttle)"
+		}
+		t.AddRow(report.Watts(budget), report.Pct(served), report.Watts(power), label)
+	}
+	return t, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// Fig7Config is one of the four configurations of the paper's Fig. 7.
+type Fig7Config struct {
+	Model string
+	Mix   tracegen.Mix
+}
+
+// Fig7Configs returns the paper's four (system, workload) pairs.
+func Fig7Configs() []Fig7Config {
+	return []Fig7Config{
+		{"BladeA", tracegen.Mix180},
+		{"BladeA", tracegen.Mix60HH},
+		{"ServerB", tracegen.Mix180},
+		{"ServerB", tracegen.Mix60HH},
+	}
+}
+
+// Fig7Row holds one (config, stack) outcome.
+type Fig7Row struct {
+	Config Fig7Config
+	Stack  string
+	Result metrics.Result
+}
+
+// Fig7Data runs the experiment and returns the raw rows.
+func Fig7Data(opts Options) ([]Fig7Row, error) {
+	opts = opts.normalized()
+	var rows []Fig7Row
+	for _, cfg := range Fig7Configs() {
+		sc := Scenario{Model: cfg.Model, Mix: cfg.Mix, Budgets: Base201510(),
+			Ticks: opts.Ticks, Seed: opts.Seed}
+		baseline, err := cachedBaseline(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, stack := range []struct {
+			name string
+			spec core.Spec
+		}{
+			{"Coordinated", core.Coordinated()},
+			{"Uncoordinated", core.Uncoordinated()},
+		} {
+			res, err := RunVsBaseline(sc, stack.spec, baseline)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s/%s %s: %w", cfg.Model, cfg.Mix, stack.name, err)
+			}
+			rows = append(rows, Fig7Row{Config: cfg, Stack: stack.name, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7 reproduces Fig. 7: budget violations at the GM/EM/SM levels plus
+// performance loss, coordinated vs uncoordinated, for the four base
+// configurations (the paper plots these as negative bars; power savings are
+// included as the headline the §5.1 text quotes).
+func Fig7(opts Options) ([]*report.Table, error) {
+	rows, err := Fig7Data(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Fig. 7 — coordinated vs uncoordinated (violations and performance loss, % )",
+		Note:  "All values relative to a no-power-management baseline; violations are % of intervals over the static budget.",
+		Header: []string{"Config", "Stack", "Violates(GM)", "Violates(EM)", "Violates(SM)",
+			"Perf-loss", "Pwr-save"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%s/%s", r.Config.Model, r.Config.Mix),
+			r.Stack,
+			report.Pct(r.Result.ViolGM),
+			report.Pct(r.Result.ViolEM),
+			report.Pct(r.Result.ViolSM),
+			report.Pct(r.Result.PerfLoss),
+			report.Pct(r.Result.PowerSavings),
+		)
+	}
+	return []*report.Table{t}, nil
+}

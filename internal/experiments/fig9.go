@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// Fig9Variant names one coordination-interface ablation.
+type Fig9Variant struct {
+	Name string
+	Spec core.Spec
+}
+
+// Fig9Variants returns the six rows of the paper's Fig. 9 table.
+func Fig9Variants() []Fig9Variant {
+	minPStates := core.Uncoordinated()
+	return []Fig9Variant{
+		{"Coordinated", core.Coordinated()},
+		{"Uncoordinated", core.Uncoordinated()},
+		{"Coordinated, appr util", core.CoordinatedApparentUtil()},
+		{"Coordinated, no feedback", core.CoordinatedNoFeedback()},
+		{"Coordinated, no budget limits", core.CoordinatedNoBudgetLimits()},
+		{"Uncoordinated, min Pstates", minPStates}, // ladder reduced via the scenario
+	}
+}
+
+// Fig9Row is one (model, variant) outcome.
+type Fig9Row struct {
+	Model   string
+	Variant string
+	Result  metrics.Result
+}
+
+// Fig9Data runs every ablation for both systems on the 180 mix.
+func Fig9Data(opts Options) ([]Fig9Row, error) {
+	opts = opts.normalized()
+	var rows []Fig9Row
+	for _, model := range []string{"BladeA", "ServerB"} {
+		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
+			Ticks: opts.Ticks, Seed: opts.Seed}
+		baseline, err := cachedBaseline(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range Fig9Variants() {
+			vsc := sc
+			if v.Name == "Uncoordinated, min Pstates" {
+				vsc.PStates = []int{0, lastPState(model)}
+			}
+			res, err := RunVsBaseline(vsc, v.Spec, baseline)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s %q: %w", model, v.Name, err)
+			}
+			rows = append(rows, Fig9Row{Model: model, Variant: v.Name, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// lastPState returns the deepest P-state index of a named model.
+func lastPState(model string) int {
+	if model == "ServerB" {
+		return 5
+	}
+	return 4
+}
+
+// Fig9 reproduces Fig. 9: the coordination-interface ablation table —
+// each of the architecture's assumptions disabled one at a time.
+func Fig9(opts Options) ([]*report.Table, error) {
+	rows, err := Fig9Data(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: "Fig. 9 — characterizing different coordination interfaces (%)",
+		Note:  "Each row disables one coordination assumption; every one costs violations, performance, or savings.",
+		Header: []string{"System", "Variant", "Viol(GM)", "Viol(EM)", "Viol(SM)",
+			"Perf-loss", "Pwr-save"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, r.Variant,
+			report.Pct(r.Result.ViolGM), report.Pct(r.Result.ViolEM), report.Pct(r.Result.ViolSM),
+			report.Pct(r.Result.PerfLoss), report.Pct(r.Result.PowerSavings))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// MigrationRow is one (model, overhead) outcome for the coordinated stack.
+type MigrationRow struct {
+	Model  string
+	AlphaM float64
+	Result metrics.Result
+}
+
+// MigrationData reproduces the §5.4 migration-overhead sensitivity study:
+// pre-copy migration penalties of 10 %, 20 %, and 50 % during the migration
+// window. The paper's finding: performance degradation grows but stays under
+// 10 % for the coordinated solution.
+func MigrationData(opts Options) ([]MigrationRow, error) {
+	opts = opts.normalized()
+	var rows []MigrationRow
+	for _, model := range []string{"BladeA", "ServerB"} {
+		for _, alphaM := range []float64{0.10, 0.20, 0.50} {
+			sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
+				Ticks: opts.Ticks, Seed: opts.Seed, AlphaM: alphaM}
+			baseline, err := cachedBaseline(sc)
+			if err != nil {
+				return nil, err
+			}
+			res, err := RunVsBaseline(sc, core.Coordinated(), baseline)
+			if err != nil {
+				return nil, fmt.Errorf("migration %s alphaM=%v: %w", model, alphaM, err)
+			}
+			rows = append(rows, MigrationRow{Model: model, AlphaM: alphaM, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// Migration renders the §5.4 migration-overhead study.
+func Migration(opts Options) ([]*report.Table, error) {
+	rows, err := MigrationData(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "§5.4 — sensitivity to migration overhead (coordinated stack, %)",
+		Note:   "Overhead is the performance penalty applied to a VM during its migration window.",
+		Header: []string{"System", "Overhead", "Perf-loss", "Pwr-save"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, report.Pct(r.AlphaM),
+			report.Pct(r.Result.PerfLoss), report.Pct(r.Result.PowerSavings))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/model"
+	"nopower/internal/report"
+)
+
+// Models reproduces the content of the paper's Fig. 5 (the design-parameter
+// table and the power/performance model curves) as tables: the two system
+// calibrations at every P-state, with the derived quantities the evaluation
+// leans on — each system's relative power range and idle-power fraction.
+func Models(opts Options) ([]*report.Table, error) {
+	var tables []*report.Table
+	for _, m := range []*model.Model{model.BladeA(), model.ServerB()} {
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		t := &report.Table{
+			Title: fmt.Sprintf("Fig. 5 — power/performance model of %s", m.Name),
+			Note: fmt.Sprintf("pow = c·r + d per P-state; perf slope a = f/f0. Range %.0f%% of max draw is dynamic; idle is %.0f%% of max.",
+				100*(1-m.MinActivePower()/m.MaxPower()), 100*m.PStates[0].D/m.MaxPower()),
+			Header: []string{"P-state", "Freq (MHz)", "Idle d (W)", "Slope c (W)", "Max (W)", "Perf slope a"},
+		}
+		for p, ps := range m.PStates {
+			t.AddRow(fmt.Sprintf("P%d", p),
+				fmt.Sprintf("%.0f", ps.FreqMHz),
+				report.F(ps.D), report.F(ps.C), report.F(ps.Max()),
+				fmt.Sprintf("%.3f", m.RelFreq(p)))
+		}
+		tables = append(tables, t)
+	}
+
+	// The base-parameter summary (the right-hand column of Fig. 5).
+	p := &report.Table{
+		Title:  "Fig. 5 — base design parameters",
+		Header: []string{"Parameter", "Base value"},
+	}
+	for _, row := range [][2]string{
+		{"static local budget CAP_LOC", "10% off server max"},
+		{"static enclosure budget CAP_ENC", "15% off enclosure max"},
+		{"static group budget CAP_GRP", "20% off group max"},
+		{"utilization target r_ref floor", "0.75"},
+		{"virtualization overhead α_V", "10% of VM utilization"},
+		{"migration overhead α_M", "10% during migration window"},
+		{"workloads / servers", "180 traces on 180 servers (6x20 blades + 60)"},
+		{"control interval EC/SM/EM/GM/VMC", "1 / 5 / 25 / 50 / 500 ticks"},
+		{"EC gain λ", "0.8 (< 1/r_ref bound)"},
+		{"SM gain β_loc", "auto: half the 2/c_max bound per model"},
+	} {
+		p.AddRow(row[0], row[1])
+	}
+	tables = append(tables, p)
+	return tables, nil
+}

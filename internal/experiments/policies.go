@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/policy"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// PolicyRow is one (model, policy) outcome for the coordinated stack.
+type PolicyRow struct {
+	Model  string
+	Policy string
+	Result metrics.Result
+}
+
+// PoliciesData reproduces the §5.4 policy-choice study: the EM/GM budget
+// division policy swept across all six implementations. The paper's finding:
+// no significant variation — the architecture is robust to individual policy
+// decisions.
+func PoliciesData(opts Options) ([]PolicyRow, error) {
+	opts = opts.normalized()
+	var rows []PolicyRow
+	for _, model := range []string{"BladeA", "ServerB"} {
+		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
+			Ticks: opts.Ticks, Seed: opts.Seed}
+		baseline, err := cachedBaseline(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, pol := range policy.Names() {
+			spec := core.Coordinated()
+			spec.Policy = pol
+			res, err := RunVsBaseline(sc, spec, baseline)
+			if err != nil {
+				return nil, fmt.Errorf("policies %s %s: %w", model, pol, err)
+			}
+			rows = append(rows, PolicyRow{Model: model, Policy: pol, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// Policies renders the §5.4 policy study.
+func Policies(opts Options) ([]*report.Table, error) {
+	rows, err := PoliciesData(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "§5.4 — EM/GM budget-division policy choices (coordinated stack, %)",
+		Note:   "The architecture should be robust: no policy changes the picture much.",
+		Header: []string{"System", "Policy", "Pwr-save", "Perf-loss", "Viol(SM)", "Viol(EM)", "Viol(GM)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, r.Policy,
+			report.Pct(r.Result.PowerSavings), report.Pct(r.Result.PerfLoss),
+			report.Pct(r.Result.ViolSM), report.Pct(r.Result.ViolEM), report.Pct(r.Result.ViolGM))
+	}
+	return []*report.Table{t}, nil
+}

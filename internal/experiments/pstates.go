@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// PStatesRow is one (model, ladder, stack) outcome.
+type PStatesRow struct {
+	Model  string
+	Ladder string // "all" or "two"
+	Stack  string
+	Result metrics.Result
+}
+
+// PStatesData compares the full P-state ladder against just the two extreme
+// states (§5.3): the paper's finding is that two well-separated states get
+// close to full-ladder behaviour under coordination, and that coordination
+// matters more when control is coarser.
+func PStatesData(opts Options) ([]PStatesRow, error) {
+	opts = opts.normalized()
+	var rows []PStatesRow
+	for _, model := range []string{"BladeA", "ServerB"} {
+		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
+			Ticks: opts.Ticks, Seed: opts.Seed}
+		baseline, err := cachedBaseline(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, ladder := range []struct {
+			name    string
+			pstates []int
+		}{
+			{"all", nil},
+			{"two", []int{0, lastPState(model)}},
+		} {
+			for _, stack := range []struct {
+				name string
+				spec core.Spec
+			}{
+				{"Coordinated", core.Coordinated()},
+				{"Uncoordinated", core.Uncoordinated()},
+			} {
+				vsc := sc
+				vsc.PStates = ladder.pstates
+				res, err := RunVsBaseline(vsc, stack.spec, baseline)
+				if err != nil {
+					return nil, fmt.Errorf("pstates %s %s %s: %w", model, ladder.name, stack.name, err)
+				}
+				rows = append(rows, PStatesRow{Model: model, Ladder: ladder.name,
+					Stack: stack.name, Result: res})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// PStates renders the §5.3 P-state-count study.
+func PStates(opts Options) ([]*report.Table, error) {
+	rows, err := PStatesData(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "§5.3 — number of P-states: full ladder vs two extremes (%)",
+		Note:   "\"two\" keeps only P0 and the deepest state. Coordination lets a 2-state processor approach full-ladder behaviour.",
+		Header: []string{"System", "Ladder", "Stack", "Viol(SM)", "Perf-loss", "Pwr-save"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Model, r.Ladder, r.Stack,
+			report.Pct(r.Result.ViolSM), report.Pct(r.Result.PerfLoss), report.Pct(r.Result.PowerSavings))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nopower/internal/report"
+)
+
+// Options tunes an experiment run. Zero values select the paper-faithful
+// defaults; tests and benchmarks shrink Ticks for speed.
+type Options struct {
+	// Ticks is the per-simulation length (0 = DefaultTicks).
+	Ticks int
+	// Seed drives trace generation (0 = 42).
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.Ticks == 0 {
+		o.Ticks = DefaultTicks
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// Runner executes one experiment and renders its artifact tables.
+type Runner func(Options) ([]*report.Table, error)
+
+// registry maps experiment IDs (DESIGN.md §4) to runners.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{
+	"fig7":       {Fig7, "coordinated vs uncoordinated: violations + perf loss, 4 configs (Fig. 7)"},
+	"fig8":       {Fig8, "isolating controllers: Coordinated / NoVMC / VMCOnly savings (Fig. 8)"},
+	"fig9":       {Fig9, "coordination-interface ablations (Fig. 9)"},
+	"fig10":      {Fig10, "power-budget sensitivity: 20-15-10 / 25-20-15 / 30-25-20 (Fig. 10)"},
+	"pstates":    {PStates, "number of P-states: full ladder vs two extremes (§5.3)"},
+	"machineoff": {MachineOff, "avoiding turning machines off (§5.4)"},
+	"migration":  {Migration, "migration-overhead sensitivity: 10/20/50 % (§5.4)"},
+	"timeconst":  {TimeConstants, "time-constant sensitivity for EC/SM/GM/VMC (§5.4)"},
+	"policies":   {Policies, "EM/GM division-policy choices (§5.4)"},
+	"failover":   {Failover, "thermal-failover prototype: EC+SM under sustained load (§5.1)"},
+	"stability":  {Stability, "Appendix A: EC and SM stability sweeps"},
+	"multiseed":  {MultiSeed, "seed robustness of the headline comparison (beyond the paper)"},
+	"extensions": {Extensions, "§6.1 extensions: VM-level EC, energy-delay objective, CAP, heterogeneity, MIMO"},
+	"models":     {Models, "the Fig. 5 power/performance calibrations and base parameters"},
+	"cooling":    {Cooling, "§7 future work: cooling-domain coordination (CRAC setpoint + budgets)"},
+}
+
+// Names lists the registered experiment IDs in DESIGN.md order.
+func Names() []string {
+	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
+		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
+		"extensions", "cooling"}
+	// Guard against drift between the slice and the map.
+	if len(order) != len(registry) {
+		keys := make([]string, 0, len(registry))
+		for k := range registry {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	return order
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string { return registry[name].desc }
+
+// Run executes a registered experiment by name.
+func RunExperiment(name string, opts Options) ([]*report.Table, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.run(opts)
+}
+
+// baselineCache memoizes no-management baselines across experiments in one
+// process (the baseline depends only on model/mix/ticks/seed, not budgets —
+// but budgets are part of the key for simplicity and safety).
+var baselineCache sync.Map
+
+type baselineKey struct {
+	model string
+	mix   string
+	ticks int
+	seed  int64
+}
+
+// cachedBaseline computes (or reuses) the scenario's baseline average power.
+func cachedBaseline(sc Scenario) (float64, error) {
+	sc = sc.normalized()
+	key := baselineKey{sc.Model, string(sc.Mix), sc.Ticks, sc.Seed}
+	if v, ok := baselineCache.Load(key); ok {
+		return v.(float64), nil
+	}
+	v, err := BaselinePower(sc)
+	if err != nil {
+		return 0, err
+	}
+	baselineCache.Store(key, v)
+	return v, nil
+}

@@ -1,0 +1,249 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5). Each experiment builds scenarios from the shared pieces —
+// synthetic trace mixes, the two system models, the budget configurations —
+// runs the relevant controller stacks, and returns rows shaped like the
+// paper's artifacts. See DESIGN.md §4 for the experiment index.
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/model"
+	"nopower/internal/sim"
+	"nopower/internal/trace"
+	"nopower/internal/tracegen"
+)
+
+// Budgets is one power-budget configuration, expressed as the paper does:
+// percentage headroom off the maximum draw at group/enclosure/local levels.
+// The paper's base "20-15-10" is {0.20, 0.15, 0.10}.
+type Budgets struct {
+	Grp, Enc, Loc float64
+}
+
+// Base201510 is the paper's base budget configuration.
+func Base201510() Budgets { return Budgets{Grp: 0.20, Enc: 0.15, Loc: 0.10} }
+
+// BudgetConfigs returns the three configurations of Fig. 10.
+func BudgetConfigs() []Budgets {
+	return []Budgets{
+		{Grp: 0.20, Enc: 0.15, Loc: 0.10},
+		{Grp: 0.25, Enc: 0.20, Loc: 0.15},
+		{Grp: 0.30, Enc: 0.25, Loc: 0.20},
+	}
+}
+
+// Label renders a budget configuration the way the paper writes it.
+func (b Budgets) Label() string {
+	return fmt.Sprintf("%.0f-%.0f-%.0f", b.Grp*100, b.Enc*100, b.Loc*100)
+}
+
+// Scenario is one fully-specified simulation setup.
+type Scenario struct {
+	// Model names the hardware calibration ("BladeA" or "ServerB").
+	Model string
+	// Mix names the workload mix.
+	Mix tracegen.Mix
+	// Budgets is the power-budget configuration.
+	Budgets Budgets
+	// Ticks is the simulation length.
+	Ticks int
+	// Seed drives trace generation and any stochastic policy.
+	Seed int64
+	// MigrationTicks is the migration-penalty window (default 10).
+	MigrationTicks int
+	// AlphaV, AlphaM are the virtualization and migration overheads
+	// (defaults 0.10 each, the paper's base).
+	AlphaV, AlphaM float64
+	// PStates optionally restricts the model's ladder (nil = all states);
+	// used by the §5.3 P-state study. Must include 0.
+	PStates []int
+	// Traces, when non-nil, supplies the workloads directly (e.g. loaded
+	// from a user CSV) instead of generating the named Mix. Each BuildCluster
+	// call deep-copies the set so runs stay independent.
+	Traces *trace.Set
+}
+
+// DefaultTicks is long enough for several VMC epochs at the base periods.
+const DefaultTicks = 3000
+
+// normalized fills scenario defaults.
+func (sc Scenario) normalized() Scenario {
+	if sc.Ticks == 0 {
+		sc.Ticks = DefaultTicks
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 42
+	}
+	if sc.MigrationTicks == 0 {
+		sc.MigrationTicks = 10
+	}
+	if sc.AlphaV == 0 {
+		sc.AlphaV = 0.10
+	}
+	if sc.AlphaM == 0 {
+		sc.AlphaM = 0.10
+	}
+	return sc
+}
+
+// topology returns the paper's cluster layouts (§4.3): 180 workloads → six
+// 20-blade enclosures + 60 standalone servers; 60 workloads → two 20-blade
+// enclosures + 20 standalone servers. Other sizes (custom trace sets) scale
+// the same 2:1 blade:standalone proportion via TopologyFor.
+func topology(workloads int) (enclosures, blades, standalone int, err error) {
+	switch workloads {
+	case 180:
+		return 6, 20, 60, nil
+	case 60:
+		return 2, 20, 20, nil
+	}
+	if workloads <= 0 {
+		return 0, 0, 0, fmt.Errorf("experiments: no topology for %d workloads", workloads)
+	}
+	e, b, s := TopologyFor(workloads)
+	return e, b, s, nil
+}
+
+// TopologyFor scales the paper's layout shape to an arbitrary workload
+// count: one 20-blade enclosure per 30 workloads (the paper's 2:1
+// blade-to-standalone ratio), the remainder standalone, and always exactly
+// one server per workload.
+func TopologyFor(workloads int) (enclosures, bladesPer, standalone int) {
+	if workloads <= 0 {
+		return 0, 0, 0
+	}
+	bladesPer = 20
+	enclosures = workloads / 30
+	if enclosures*bladesPer > workloads {
+		enclosures = workloads / bladesPer
+	}
+	standalone = workloads - enclosures*bladesPer
+	return enclosures, bladesPer, standalone
+}
+
+// BuildCluster materializes a scenario's cluster (fresh traces and state on
+// every call, so repeated runs are independent and reproducible).
+func (sc Scenario) BuildCluster() (*cluster.Cluster, error) {
+	sc = sc.normalized()
+	m := model.ByName(sc.Model)
+	if m == nil {
+		return nil, fmt.Errorf("experiments: unknown model %q", sc.Model)
+	}
+	if sc.PStates != nil {
+		var err error
+		if m, err = m.Pick(sc.PStates...); err != nil {
+			return nil, err
+		}
+	}
+	var set *trace.Set
+	if sc.Traces != nil {
+		set = &trace.Set{Name: sc.Traces.Name}
+		for _, tr := range sc.Traces.Traces {
+			set.Traces = append(set.Traces, tr.Clone())
+		}
+	} else {
+		var err error
+		set, err = tracegen.BuildMix(sc.Mix, sc.Ticks, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	enc, blades, standalone, err := topology(set.Len())
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Enclosures:         enc,
+		BladesPerEnclosure: blades,
+		Standalone:         standalone,
+		Model:              m,
+		CapOffGrp:          sc.Budgets.Grp,
+		CapOffEnc:          sc.Budgets.Enc,
+		CapOffLoc:          sc.Budgets.Loc,
+		AlphaV:             sc.AlphaV,
+		AlphaM:             sc.AlphaM,
+		MigrationTicks:     sc.MigrationTicks,
+	}, set)
+}
+
+// clusterFromSet builds the scenario cluster around a pre-built trace set
+// (used when a caller wants to inspect or perturb the traces).
+func (sc Scenario) clusterFromSet(set *trace.Set) (*cluster.Cluster, error) {
+	sc = sc.normalized()
+	m := model.ByName(sc.Model)
+	if m == nil {
+		return nil, fmt.Errorf("experiments: unknown model %q", sc.Model)
+	}
+	enc, blades, standalone, err := topology(set.Len())
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Enclosures:         enc,
+		BladesPerEnclosure: blades,
+		Standalone:         standalone,
+		Model:              m,
+		CapOffGrp:          sc.Budgets.Grp,
+		CapOffEnc:          sc.Budgets.Enc,
+		CapOffLoc:          sc.Budgets.Loc,
+		AlphaV:             sc.AlphaV,
+		AlphaM:             sc.AlphaM,
+		MigrationTicks:     sc.MigrationTicks,
+	}, set)
+}
+
+// Run executes one (scenario, spec) pair against the scenario's baseline and
+// returns the finalized metrics.
+func Run(sc Scenario, spec core.Spec) (metrics.Result, error) {
+	sc = sc.normalized()
+	baseline, err := sim.Baseline(sc.BuildCluster, sc.Ticks)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	return RunVsBaseline(sc, spec, baseline)
+}
+
+// RunVsBaseline executes one (scenario, spec) pair against a pre-computed
+// baseline average power, letting callers share the baseline across specs.
+func RunVsBaseline(sc Scenario, spec core.Spec, baselineAvgPower float64) (metrics.Result, error) {
+	return RunRecorded(sc, spec, baselineAvgPower, nil)
+}
+
+// RunRecorded is RunVsBaseline with an optional per-tick time-series
+// recorder attached to the engine.
+func RunRecorded(sc Scenario, spec core.Spec, baselineAvgPower float64, series *metrics.Series) (metrics.Result, error) {
+	sc = sc.normalized()
+	cl, err := sc.BuildCluster()
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if spec.Seed == 0 {
+		spec.Seed = sc.Seed
+	}
+	eng, _, err := core.Build(cl, spec)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	if series != nil {
+		eng.OnTick = series.Observe
+	}
+	col, err := eng.Run(sc.Ticks)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	res := col.Finalize(baselineAvgPower)
+	if err := res.Valid(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// BaselinePower computes the scenario's no-management average power.
+func BaselinePower(sc Scenario) (float64, error) {
+	sc = sc.normalized()
+	return sim.Baseline(sc.BuildCluster, sc.Ticks)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/report"
+	"nopower/internal/tracegen"
+)
+
+// TimeConstRow is one (controller, period) outcome for the coordinated
+// stack on Blade A / 180.
+type TimeConstRow struct {
+	Controller string
+	Period     int
+	Result     metrics.Result
+}
+
+// TimeConstantsData reproduces the §5.4 time-constant sensitivity study,
+// sweeping the paper's period sets: EC 1/2/5/10, SM 1(5)/2/5/10 (relative to
+// base), GM 50/100/200/400, VMC 100/200/300/400/500. The paper's finding:
+// results are relatively invariant for EC/SM/GM, while more frequent VMC
+// operation reduces savings via more aggressive feedback.
+func TimeConstantsData(opts Options) ([]TimeConstRow, error) {
+	opts = opts.normalized()
+	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
+		Ticks: opts.Ticks, Seed: opts.Seed}
+	baseline, err := cachedBaseline(sc)
+	if err != nil {
+		return nil, err
+	}
+	sweeps := []struct {
+		name    string
+		periods []int
+		apply   func(*core.Periods, int)
+	}{
+		{"EC", []int{1, 2, 5, 10}, func(p *core.Periods, v int) { p.EC = v }},
+		{"SM", []int{1, 2, 5, 10}, func(p *core.Periods, v int) { p.SM = v }},
+		{"GM", []int{50, 100, 200, 400}, func(p *core.Periods, v int) { p.GM = v }},
+		{"VMC", []int{100, 200, 300, 400, 500}, func(p *core.Periods, v int) { p.VMC = v }},
+	}
+	var rows []TimeConstRow
+	for _, sweep := range sweeps {
+		for _, period := range sweep.periods {
+			spec := core.Coordinated()
+			p := core.DefaultPeriods()
+			sweep.apply(&p, period)
+			spec.Periods = p
+			res, err := RunVsBaseline(sc, spec, baseline)
+			if err != nil {
+				return nil, fmt.Errorf("timeconst %s=%d: %w", sweep.name, period, err)
+			}
+			rows = append(rows, TimeConstRow{Controller: sweep.name, Period: period, Result: res})
+		}
+	}
+	return rows, nil
+}
+
+// TimeConstants renders the §5.4 time-constant study.
+func TimeConstants(opts Options) ([]*report.Table, error) {
+	rows, err := TimeConstantsData(opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title:  "§5.4 — sensitivity to controller time constants (BladeA/180, coordinated, %)",
+		Note:   "One controller's period varied at a time; the others stay at the 1/5/25/50/500 base.",
+		Header: []string{"Controller", "Period", "Pwr-save", "Perf-loss", "Viol(SM)"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Controller, fmt.Sprintf("%d", r.Period),
+			report.Pct(r.Result.PowerSavings), report.Pct(r.Result.PerfLoss),
+			report.Pct(r.Result.ViolSM))
+	}
+	return []*report.Table{t}, nil
+}

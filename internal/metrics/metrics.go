@@ -1,0 +1,184 @@
+// Package metrics accumulates the evaluation metrics of §4.2: aggregate
+// power savings (vs. a no-management baseline), performance loss, and power
+// budget violations at the server, enclosure, and group levels.
+//
+// Violations are measured against the *static* budgets CAP_LOC / CAP_ENC /
+// CAP_GRP and reported as the percentage of observation intervals in
+// violation (server-ticks for the SM level). Peak power savings are not
+// reported as a metric because, as the paper notes, they are configuration
+// inputs (the budget headrooms), not outcomes.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"nopower/internal/cluster"
+)
+
+// Collector folds per-tick cluster observations into running totals.
+type Collector struct {
+	ticks int
+
+	energy      float64 // Σ group power (W·tick)
+	demandWork  float64
+	delivered   float64
+	onServerSum int
+
+	violSM     int // server-ticks over CAP_LOC
+	serverObs  int // on-server-ticks observed (denominator basis: all server-ticks)
+	allSrvObs  int
+	violEM     int // enclosure-ticks over CAP_ENC
+	encObs     int
+	violGM     int // ticks over CAP_GRP
+	grpObs     int
+	peakPower  float64
+	violSMMass float64 // Σ overshoot (W·tick), magnitude telemetry
+}
+
+// Observe folds one advanced tick of the cluster into the collector.
+func (c *Collector) Observe(cl *cluster.Cluster) {
+	c.ticks++
+	c.energy += cl.GroupPower
+	c.demandWork += cl.DemandWork
+	c.delivered += cl.DeliveredWork
+	if cl.GroupPower > c.peakPower {
+		c.peakPower = cl.GroupPower
+	}
+
+	for _, s := range cl.Servers {
+		c.allSrvObs++
+		if !s.On {
+			continue
+		}
+		c.serverObs++
+		if s.Power > s.StaticCap {
+			c.violSM++
+			c.violSMMass += s.Power - s.StaticCap
+		}
+	}
+	for _, e := range cl.Enclosures {
+		c.encObs++
+		if e.Power > e.StaticCap {
+			c.violEM++
+		}
+	}
+	c.grpObs++
+	if cl.GroupPower > cl.StaticCapGrp {
+		c.violGM++
+	}
+	if cl.OnCount() > 0 {
+		c.onServerSum += cl.OnCount()
+	}
+}
+
+// Result is the final evaluation summary of one run.
+type Result struct {
+	// Ticks is the number of observed intervals.
+	Ticks int
+	// AvgPower is the mean group draw in Watts.
+	AvgPower float64
+	// PeakPower is the highest observed group draw in Watts.
+	PeakPower float64
+	// PowerSavings is 1 − AvgPower/baseline, in [ −∞, 1 ]; zero when no
+	// baseline was supplied.
+	PowerSavings float64
+	// PerfLoss is 1 − delivered/demanded work.
+	PerfLoss float64
+	// ViolSM, ViolEM, ViolGM are violation rates (fraction of observation
+	// intervals over the static budget at each level).
+	ViolSM, ViolEM, ViolGM float64
+	// ViolSMWatts is the mean overshoot magnitude per violating server-tick.
+	ViolSMWatts float64
+	// AvgServersOn is the mean number of powered servers.
+	AvgServersOn float64
+}
+
+// Finalize computes the summary. baselineAvgPower <= 0 skips the savings
+// metric.
+func (c *Collector) Finalize(baselineAvgPower float64) Result {
+	r := Result{Ticks: c.ticks, PeakPower: c.peakPower}
+	if c.ticks == 0 {
+		return r
+	}
+	r.AvgPower = c.energy / float64(c.ticks)
+	if baselineAvgPower > 0 {
+		r.PowerSavings = 1 - r.AvgPower/baselineAvgPower
+	}
+	if c.demandWork > 0 {
+		r.PerfLoss = 1 - c.delivered/c.demandWork
+		if r.PerfLoss < 0 && r.PerfLoss > -1e-12 {
+			r.PerfLoss = 0
+		}
+	}
+	if c.allSrvObs > 0 {
+		r.ViolSM = float64(c.violSM) / float64(c.allSrvObs)
+	}
+	if c.encObs > 0 {
+		r.ViolEM = float64(c.violEM) / float64(c.encObs)
+	}
+	if c.grpObs > 0 {
+		r.ViolGM = float64(c.violGM) / float64(c.grpObs)
+	}
+	if c.violSM > 0 {
+		r.ViolSMWatts = c.violSMMass / float64(c.violSM)
+	}
+	r.AvgServersOn = float64(c.onServerSum) / float64(c.ticks)
+	return r
+}
+
+// EnergyKWh converts the run's average power into energy, given the
+// real-time duration of one tick in seconds. The paper motivates average
+// power reduction with electricity cost ("many data centers reporting
+// millions of dollars for annual usage").
+func (r Result) EnergyKWh(tickSeconds float64) float64 {
+	if tickSeconds <= 0 {
+		return 0
+	}
+	hours := float64(r.Ticks) * tickSeconds / 3600
+	return r.AvgPower * hours / 1000
+}
+
+// ElectricityCost prices the run's energy at a $/kWh rate.
+func (r Result) ElectricityCost(tickSeconds, dollarsPerKWh float64) float64 {
+	return r.EnergyKWh(tickSeconds) * dollarsPerKWh
+}
+
+// AnnualSavingsUSD extrapolates the measured savings rate to a year of
+// operation: (baseline − achieved) average Watts priced per kWh.
+func AnnualSavingsUSD(baselineAvgW, achievedAvgW, dollarsPerKWh float64) float64 {
+	deltaKW := (baselineAvgW - achievedAvgW) / 1000
+	return deltaKW * 24 * 365 * dollarsPerKWh
+}
+
+// String renders the result compactly for logs and CLI output.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"avg %.0fW peak %.0fW save %.1f%% perf-loss %.1f%% viol SM/EM/GM %.1f/%.1f/%.1f%% on %.1f",
+		r.AvgPower, r.PeakPower, 100*r.PowerSavings, 100*r.PerfLoss,
+		100*r.ViolSM, 100*r.ViolEM, 100*r.ViolGM, r.AvgServersOn)
+}
+
+// Valid sanity-checks a result's ranges (used by integration tests).
+func (r Result) Valid() error {
+	checks := []struct {
+		name string
+		v    float64
+		lo   float64
+		hi   float64
+	}{
+		{"PerfLoss", r.PerfLoss, 0, 1},
+		{"ViolSM", r.ViolSM, 0, 1},
+		{"ViolEM", r.ViolEM, 0, 1},
+		{"ViolGM", r.ViolGM, 0, 1},
+	}
+	for _, c := range checks {
+		if math.IsNaN(c.v) || c.v < c.lo-1e-9 || c.v > c.hi+1e-9 {
+			return fmt.Errorf("metrics: %s = %v out of [%v,%v]", c.name, c.v, c.lo, c.hi)
+		}
+	}
+	if r.AvgPower < 0 || r.PeakPower < r.AvgPower-1e-9 {
+		return fmt.Errorf("metrics: power stats inconsistent: avg %v peak %v", r.AvgPower, r.PeakPower)
+	}
+	return nil
+}

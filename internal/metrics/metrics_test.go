@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nopower/internal/testutil"
+)
+
+func TestEmptyCollector(t *testing.T) {
+	var c Collector
+	r := c.Finalize(100)
+	if r.Ticks != 0 || r.AvgPower != 0 || r.PowerSavings != 0 {
+		t.Errorf("empty collector result: %+v", r)
+	}
+	if err := r.Valid(); err != nil {
+		t.Errorf("empty result invalid: %v", err)
+	}
+}
+
+func TestPowerAccounting(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 0.5)
+	var c Collector
+	for k := 0; k < 4; k++ {
+		cl.Advance(k)
+		c.Observe(cl)
+	}
+	r := c.Finalize(0)
+	wantAvg := cl.GroupPower // constant demand -> constant power
+	if math.Abs(r.AvgPower-wantAvg) > 1e-9 {
+		t.Errorf("AvgPower = %v, want %v", r.AvgPower, wantAvg)
+	}
+	if r.PeakPower != wantAvg {
+		t.Errorf("PeakPower = %v", r.PeakPower)
+	}
+	if r.Ticks != 4 {
+		t.Errorf("Ticks = %d", r.Ticks)
+	}
+	if r.PowerSavings != 0 {
+		t.Error("savings reported without a baseline")
+	}
+}
+
+func TestSavingsAgainstBaseline(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 0.5)
+	var c Collector
+	cl.Advance(0)
+	c.Observe(cl)
+	avg := cl.GroupPower
+	r := c.Finalize(2 * avg)
+	if math.Abs(r.PowerSavings-0.5) > 1e-12 {
+		t.Errorf("PowerSavings = %v, want 0.5", r.PowerSavings)
+	}
+}
+
+func TestPerfLossAccounting(t *testing.T) {
+	// Saturating demand at the deepest P-state loses a known fraction.
+	cl := testutil.StandaloneCluster(t, 1, 10, 1.0)
+	cl.Servers[0].PState = 4 // capacity 0.533 vs demand 1.1
+	var c Collector
+	cl.Advance(0)
+	c.Observe(cl)
+	r := c.Finalize(0)
+	served := 0.533 / 1.1
+	want := 1 - served
+	if math.Abs(r.PerfLoss-want) > 1e-9 {
+		t.Errorf("PerfLoss = %v, want %v", r.PerfLoss, want)
+	}
+}
+
+func TestViolationRates(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 1.0) // P0 saturated: 100 W > 90 W cap
+	var c Collector
+	for k := 0; k < 5; k++ {
+		cl.Advance(k)
+		c.Observe(cl)
+	}
+	r := c.Finalize(0)
+	if r.ViolSM != 1 {
+		t.Errorf("ViolSM = %v, want 1 (all server-ticks violate)", r.ViolSM)
+	}
+	if r.ViolGM != 1 {
+		t.Errorf("ViolGM = %v, want 1", r.ViolGM)
+	}
+	if r.ViolEM != 0 {
+		t.Errorf("ViolEM = %v, want 0 (no enclosures)", r.ViolEM)
+	}
+	if r.ViolSMWatts <= 0 {
+		t.Error("overshoot magnitude missing")
+	}
+}
+
+func TestViolationDenominatorIncludesOffServers(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 1.0)
+	if err := cl.Move(0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PowerOff(0); err != nil {
+		t.Fatal(err)
+	}
+	var c Collector
+	cl.Advance(0)
+	c.Observe(cl)
+	r := c.Finalize(0)
+	// One of two server-ticks violates (the off one cannot).
+	if math.Abs(r.ViolSM-0.5) > 1e-12 {
+		t.Errorf("ViolSM = %v, want 0.5", r.ViolSM)
+	}
+	if r.AvgServersOn != 1 {
+		t.Errorf("AvgServersOn = %v", r.AvgServersOn)
+	}
+}
+
+func TestEnclosureViolations(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 1, 2, 0, 10, 1.0)
+	var c Collector
+	cl.Advance(0)
+	c.Observe(cl)
+	r := c.Finalize(0)
+	// 200 W > 170 W enclosure budget.
+	if r.ViolEM != 1 {
+		t.Errorf("ViolEM = %v, want 1", r.ViolEM)
+	}
+}
+
+func TestValidCatchesGarbage(t *testing.T) {
+	bad := Result{PerfLoss: 1.5}
+	if err := bad.Valid(); err == nil {
+		t.Error("PerfLoss > 1 accepted")
+	}
+	bad = Result{ViolSM: math.NaN()}
+	if err := bad.Valid(); err == nil {
+		t.Error("NaN accepted")
+	}
+	bad = Result{AvgPower: 100, PeakPower: 50}
+	if err := bad.Valid(); err == nil {
+		t.Error("peak < avg accepted")
+	}
+}
+
+func TestEnergyAndCost(t *testing.T) {
+	r := Result{Ticks: 3600, AvgPower: 1000} // 1 kW for 3600 one-second ticks
+	if got := r.EnergyKWh(1); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("EnergyKWh = %v, want 1", got)
+	}
+	if got := r.ElectricityCost(1, 0.12); math.Abs(got-0.12) > 1e-12 {
+		t.Errorf("cost = %v", got)
+	}
+	if got := r.EnergyKWh(0); got != 0 {
+		t.Errorf("zero tick duration energy = %v", got)
+	}
+	// 1 kW saved for a year at $0.10/kWh = $876.
+	if got := AnnualSavingsUSD(2000, 1000, 0.10); math.Abs(got-876) > 1e-9 {
+		t.Errorf("annual savings = %v, want 876", got)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	r := Result{AvgPower: 123.4, PeakPower: 200, PowerSavings: 0.5, PerfLoss: 0.03}
+	s := r.String()
+	for _, frag := range []string{"123", "200", "50.0%", "3.0%"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

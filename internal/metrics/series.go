@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"nopower/internal/cluster"
+)
+
+// Series records per-tick time series of the headline signals, for plotting
+// and offline analysis. Attach via the engine's OnTick hook; Stride > 1
+// subsamples to keep long runs small.
+type Series struct {
+	// Stride keeps every Stride-th tick (0 or 1 = every tick).
+	Stride int
+
+	Ticks     []int
+	PowerW    []float64
+	ServersOn []int
+	ViolSM    []int // count of servers over their static cap this tick
+	PerfLoss  []float64
+	TempProxy []float64 // group power over group budget, Watts (0 if under)
+}
+
+// Observe appends one sample (honoring the stride).
+func (s *Series) Observe(k int, cl *cluster.Cluster) {
+	stride := s.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	if k%stride != 0 {
+		return
+	}
+	viol := 0
+	for _, sv := range cl.Servers {
+		if sv.On && sv.Power > sv.StaticCap {
+			viol++
+		}
+	}
+	loss := 0.0
+	if cl.DemandWork > 0 {
+		loss = 1 - cl.DeliveredWork/cl.DemandWork
+	}
+	over := cl.GroupPower - cl.StaticCapGrp
+	if over < 0 {
+		over = 0
+	}
+	s.Ticks = append(s.Ticks, k)
+	s.PowerW = append(s.PowerW, cl.GroupPower)
+	s.ServersOn = append(s.ServersOn, cl.OnCount())
+	s.ViolSM = append(s.ViolSM, viol)
+	s.PerfLoss = append(s.PerfLoss, loss)
+	s.TempProxy = append(s.TempProxy, over)
+}
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int { return len(s.Ticks) }
+
+// WriteCSV emits the series with a header row.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"tick", "power_w", "servers_on", "viol_sm", "perf_loss", "group_over_w"}); err != nil {
+		return err
+	}
+	for i := range s.Ticks {
+		row := []string{
+			strconv.Itoa(s.Ticks[i]),
+			strconv.FormatFloat(s.PowerW[i], 'f', 2, 64),
+			strconv.Itoa(s.ServersOn[i]),
+			strconv.Itoa(s.ViolSM[i]),
+			strconv.FormatFloat(s.PerfLoss[i], 'f', 4, 64),
+			strconv.FormatFloat(s.TempProxy[i], 'f', 2, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("metrics: series write: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nopower/internal/testutil"
+)
+
+func TestSeriesObserveAndCSV(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 1.0) // violating (100 W > 90 W)
+	var s Series
+	for k := 0; k < 5; k++ {
+		cl.Advance(k)
+		s.Observe(k, cl)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.ViolSM[0] != 2 {
+		t.Errorf("ViolSM[0] = %d, want 2", s.ViolSM[0])
+	}
+	if s.ServersOn[0] != 2 {
+		t.Errorf("ServersOn[0] = %d", s.ServersOn[0])
+	}
+	if s.PowerW[0] != cl.GroupPower {
+		t.Errorf("PowerW[0] = %v", s.PowerW[0])
+	}
+	if s.TempProxy[0] <= 0 {
+		t.Errorf("group overage = %v, want positive (200 W vs 160 W cap)", s.TempProxy[0])
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "tick,power_w") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,200.00,2,2,") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestSeriesStride(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 30, 0.2)
+	s := Series{Stride: 10}
+	for k := 0; k < 30; k++ {
+		cl.Advance(k)
+		s.Observe(k, cl)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (ticks 0, 10, 20)", s.Len())
+	}
+}

@@ -1,0 +1,245 @@
+// Package policy implements the budget-division policies the enclosure and
+// group managers use to re-provision a level's power budget across its
+// children each epoch. The paper's base policy is proportional share
+// (Fig. 6, eqs. EM/GMs); §3.1 notes that "different policies (e.g.,
+// fair-share, FIFO, random, priority-based, history-based) can be
+// implemented" and §5.4 studies their impact — all six are provided here.
+//
+// A Division only computes the *recommendations*; the receiving level always
+// takes min(own static cap, recommendation) per the paper's coordination
+// rule, so recommendations above a child's static cap are harmless.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Child is one budget recipient as seen by a division policy.
+type Child struct {
+	// ID identifies the child (server or enclosure index).
+	ID int
+	// Power is the child's measured draw over the last epoch, Watts.
+	Power float64
+	// MaxPower is the child's maximum possible draw, Watts.
+	MaxPower float64
+	// Priority orders children for the priority policy (higher = first).
+	Priority int
+}
+
+// Division allocates a total budget across children. Implementations must
+// return one non-negative share per child, summing to at most total.
+type Division interface {
+	// Name identifies the policy for reports and flags.
+	Name() string
+	// Divide computes the per-child budget recommendations.
+	Divide(total float64, children []Child) []float64
+}
+
+// floorFrac keeps proportional-style policies from starving a child whose
+// measured power was ~0 (e.g. just powered on): each child's weight is at
+// least this fraction of its MaxPower. Without it, min(static, 0) would lock
+// a re-awakened machine at a zero budget — a live-lock the paper's
+// proportional equations implicitly avoid by running on measured power that
+// is never exactly zero on real hardware.
+const floorFrac = 0.05
+
+// Proportional is the paper's base policy: shares proportional to each
+// child's consumption in the previous interval.
+type Proportional struct{}
+
+// Name implements Division.
+func (Proportional) Name() string { return "proportional" }
+
+// Divide implements Division.
+func (Proportional) Divide(total float64, children []Child) []float64 {
+	weights := make([]float64, len(children))
+	sum := 0.0
+	for i, c := range children {
+		w := c.Power
+		if floor := floorFrac * c.MaxPower; w < floor {
+			w = floor
+		}
+		weights[i] = w
+		sum += w
+	}
+	return byWeight(total, weights, sum)
+}
+
+// FairShare splits the budget equally.
+type FairShare struct{}
+
+// Name implements Division.
+func (FairShare) Name() string { return "fairshare" }
+
+// Divide implements Division.
+func (FairShare) Divide(total float64, children []Child) []float64 {
+	out := make([]float64, len(children))
+	if len(children) == 0 {
+		return out
+	}
+	share := total / float64(len(children))
+	for i := range out {
+		out[i] = share
+	}
+	return out
+}
+
+// FIFO grants each child its full MaxPower in ID order until the budget is
+// exhausted; later children get the remainder.
+type FIFO struct{}
+
+// Name implements Division.
+func (FIFO) Name() string { return "fifo" }
+
+// Divide implements Division.
+func (FIFO) Divide(total float64, children []Child) []float64 {
+	order := make([]int, len(children))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return children[order[a]].ID < children[order[b]].ID
+	})
+	return fill(total, children, order)
+}
+
+// Random fills children in a seeded random order each epoch.
+type Random struct {
+	// Rng drives the shuffle; a nil Rng makes Divide deterministic in ID
+	// order (degrading to FIFO), which keeps the zero value usable.
+	Rng *rand.Rand
+}
+
+// Name implements Division.
+func (Random) Name() string { return "random" }
+
+// Divide implements Division.
+func (r Random) Divide(total float64, children []Child) []float64 {
+	order := make([]int, len(children))
+	for i := range order {
+		order[i] = i
+	}
+	if r.Rng != nil {
+		r.Rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+	}
+	return fill(total, children, order)
+}
+
+// Priority fills children in descending Priority (ties by ID).
+type Priority struct{}
+
+// Name implements Division.
+func (Priority) Name() string { return "priority" }
+
+// Divide implements Division.
+func (Priority) Divide(total float64, children []Child) []float64 {
+	order := make([]int, len(children))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := children[order[a]], children[order[b]]
+		if ca.Priority != cb.Priority {
+			return ca.Priority > cb.Priority
+		}
+		return ca.ID < cb.ID
+	})
+	return fill(total, children, order)
+}
+
+// History shares proportionally to an exponentially-weighted moving average
+// of each child's power, smoothing out transients. The zero value uses
+// alpha 0.3.
+type History struct {
+	// Alpha is the EWMA smoothing factor in (0,1]; 0 defaults to 0.3.
+	Alpha float64
+	ewma  map[int]float64
+}
+
+// Name implements Division.
+func (*History) Name() string { return "history" }
+
+// Divide implements Division.
+func (h *History) Divide(total float64, children []Child) []float64 {
+	alpha := h.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if h.ewma == nil {
+		h.ewma = make(map[int]float64)
+	}
+	weights := make([]float64, len(children))
+	sum := 0.0
+	for i, c := range children {
+		prev, ok := h.ewma[c.ID]
+		if !ok {
+			prev = c.Power
+		}
+		cur := alpha*c.Power + (1-alpha)*prev
+		h.ewma[c.ID] = cur
+		w := cur
+		if floor := floorFrac * c.MaxPower; w < floor {
+			w = floor
+		}
+		weights[i] = w
+		sum += w
+	}
+	return byWeight(total, weights, sum)
+}
+
+// byWeight distributes total proportionally to weights (all shares are
+// non-negative and sum to exactly total when sum > 0).
+func byWeight(total float64, weights []float64, sum float64) []float64 {
+	out := make([]float64, len(weights))
+	if sum <= 0 || total <= 0 {
+		return out
+	}
+	for i, w := range weights {
+		out[i] = total * w / sum
+	}
+	return out
+}
+
+// fill grants MaxPower in the given order until the budget runs out.
+func fill(total float64, children []Child, order []int) []float64 {
+	out := make([]float64, len(children))
+	remaining := total
+	for _, idx := range order {
+		if remaining <= 0 {
+			break
+		}
+		grant := children[idx].MaxPower
+		if grant > remaining {
+			grant = remaining
+		}
+		out[idx] = grant
+		remaining -= grant
+	}
+	return out
+}
+
+// ByName constructs a policy by name; rng is only used by "random".
+func ByName(name string, rng *rand.Rand) (Division, error) {
+	switch name {
+	case "proportional", "":
+		return Proportional{}, nil
+	case "fairshare":
+		return FairShare{}, nil
+	case "fifo":
+		return FIFO{}, nil
+	case "random":
+		return Random{Rng: rng}, nil
+	case "priority":
+		return Priority{}, nil
+	case "history":
+		return &History{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown division policy %q", name)
+}
+
+// Names lists every available policy.
+func Names() []string {
+	return []string{"proportional", "fairshare", "fifo", "random", "priority", "history"}
+}

@@ -1,0 +1,105 @@
+// Package report renders fixed-width ASCII tables for experiment output —
+// the same row/column shapes the paper's figures and tables use, printable
+// from the CLI and embeddable in EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	// Title is printed above the grid.
+	Title string
+	// Note is an optional caption printed under the title.
+	Note string
+	// Header names the columns.
+	Header []string
+	// Rows hold the data cells; short rows are padded with blanks.
+	Rows [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(widths))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		padded := make([]string, len(t.Header))
+		copy(padded, row)
+		b.WriteString("| " + strings.Join(padded, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f", 100*v) }
+
+// Watts formats a power value.
+func Watts(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// F formats a float with two decimals.
+func F(v float64) string { return fmt.Sprintf("%.2f", v) }

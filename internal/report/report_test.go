@@ -1,0 +1,84 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		Title:  "Sample",
+		Note:   "a note",
+		Header: []string{"Name", "Value"},
+	}
+	t.AddRow("alpha", "1.0")
+	t.AddRow("beta-very-long", "2.5")
+	return t
+}
+
+func TestStringAlignment(t *testing.T) {
+	s := sample().String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, note, header, separator, 2 rows
+		t.Fatalf("%d lines: %q", len(lines), s)
+	}
+	if lines[0] != "Sample" || lines[1] != "a note" {
+		t.Errorf("title/note wrong: %q %q", lines[0], lines[1])
+	}
+	// The Value column must start at the same offset in header and rows.
+	headerIdx := strings.Index(lines[2], "Value")
+	rowIdx := strings.Index(lines[4], "1.0")
+	if headerIdx != rowIdx {
+		t.Errorf("column misaligned: header at %d, row at %d", headerIdx, rowIdx)
+	}
+	if !strings.Contains(lines[3], "----") {
+		t.Errorf("missing separator: %q", lines[3])
+	}
+}
+
+func TestStringHandlesShortAndLongRows(t *testing.T) {
+	tb := &Table{Header: []string{"A", "B"}}
+	tb.AddRow("only-a")
+	tb.AddRow("a", "b", "extra")
+	s := tb.String()
+	if !strings.Contains(s, "only-a") || !strings.Contains(s, "extra") {
+		t.Errorf("rows dropped: %q", s)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	for _, frag := range []string{"### Sample", "a note", "| Name | Value |", "| --- | --- |", "| alpha | 1.0 |"} {
+		if !strings.Contains(md, frag) {
+			t.Errorf("markdown missing %q in %q", frag, md)
+		}
+	}
+}
+
+func TestMarkdownPadsShortRows(t *testing.T) {
+	tb := &Table{Header: []string{"A", "B", "C"}}
+	tb.AddRow("x")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| x |  |  |") {
+		t.Errorf("short row not padded: %q", md)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.5); got != "50.0" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Watts(123.6); got != "124" {
+		t.Errorf("Watts = %q", got)
+	}
+	if got := F(1.234); got != "1.23" {
+		t.Errorf("F = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{Header: []string{"X"}}
+	if s := tb.String(); !strings.Contains(s, "X") {
+		t.Errorf("empty table render: %q", s)
+	}
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"nopower/internal/cluster"
+)
+
+// Event is a scheduled perturbation of the running system — the dynamism
+// §3.2 claims the architecture accommodates: "changes to workload behavior,
+// changes to system models, changes in controller policies, changes in time
+// constants". Events fire before the controllers of their tick, so the stack
+// reacts to the new reality the same way it reacts to workload change.
+type Event struct {
+	// At is the tick the event fires on.
+	At int
+	// Name labels the event for logs.
+	Name string
+	// Apply mutates the cluster (or controller state captured by closure).
+	Apply func(cl *cluster.Cluster)
+}
+
+// EventInjector is a Controller that fires scheduled events. Register it
+// first in the stack so the tick's controllers see the perturbed state.
+type EventInjector struct {
+	events []Event
+	next   int
+	fired  []string
+}
+
+// NewEventInjector sorts and wraps a schedule.
+func NewEventInjector(events ...Event) *EventInjector {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].At < sorted[b].At })
+	return &EventInjector{events: sorted}
+}
+
+// Name implements Controller.
+func (e *EventInjector) Name() string { return "events" }
+
+// Tick fires every event scheduled at or before k that has not fired yet.
+func (e *EventInjector) Tick(k int, cl *cluster.Cluster) {
+	for e.next < len(e.events) && e.events[e.next].At <= k {
+		ev := e.events[e.next]
+		if ev.Apply != nil {
+			ev.Apply(cl)
+		}
+		e.fired = append(e.fired, fmt.Sprintf("%d:%s", ev.At, ev.Name))
+		e.next++
+	}
+}
+
+// Fired lists the events applied so far, as "tick:name" strings.
+func (e *EventInjector) Fired() []string { return append([]string(nil), e.fired...) }
+
+// FailServer returns an event that hard-fails a server: it goes dark
+// (power off) and its VMs are stranded until a consolidator re-places them.
+// Unlike cluster.PowerOff, a failure does not wait for evacuation — that is
+// the point.
+func FailServer(at, server int) Event {
+	return Event{At: at, Name: fmt.Sprintf("fail-server-%d", server), Apply: func(cl *cluster.Cluster) {
+		if server < 0 || server >= len(cl.Servers) {
+			return
+		}
+		s := cl.Servers[server]
+		// Evict the VMs to the least-loaded powered server (emergency
+		// restart elsewhere), then cut power. This models the failover an
+		// HA layer would perform underneath the power stack.
+		for len(s.VMs) > 0 {
+			vmID := s.VMs[0]
+			target := emergencyTarget(cl, server)
+			if target < 0 {
+				break // nowhere to go; VM stays and will read as lost work
+			}
+			if err := cl.Move(vmID, target, at); err != nil {
+				break
+			}
+		}
+		if len(s.VMs) == 0 {
+			// PowerOff cannot fail on an empty server.
+			_ = cl.PowerOff(server)
+		} else {
+			s.On = false // stranded VMs lose their work: a real outage
+		}
+	}}
+}
+
+// emergencyTarget picks the powered-on server (other than the failed one)
+// with the lowest measured demand.
+func emergencyTarget(cl *cluster.Cluster, exclude int) int {
+	best, bestLoad := -1, 0.0
+	for _, s := range cl.Servers {
+		if s.ID == exclude || !s.On {
+			continue
+		}
+		if best < 0 || s.DemandSum < bestLoad {
+			best, bestLoad = s.ID, s.DemandSum
+		}
+	}
+	return best
+}
+
+// RestoreServer returns an event that brings a failed machine back online.
+func RestoreServer(at, server int) Event {
+	return Event{At: at, Name: fmt.Sprintf("restore-server-%d", server), Apply: func(cl *cluster.Cluster) {
+		if server >= 0 && server < len(cl.Servers) {
+			cl.PowerOn(server)
+		}
+	}}
+}
+
+// SetGroupBudget returns an event that changes the group-level power budget
+// at runtime (an operator or a higher-level manager re-provisioning, §3.1:
+// budgets "determined by high-level power managers").
+func SetGroupBudget(at int, watts float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("group-budget-%.0fW", watts), Apply: func(cl *cluster.Cluster) {
+		if watts > 0 {
+			cl.StaticCapGrp = watts
+		}
+	}}
+}
+
+// SetServerBudget returns an event that changes one server's static budget.
+func SetServerBudget(at, server int, watts float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("server-%d-budget-%.0fW", server, watts), Apply: func(cl *cluster.Cluster) {
+		if server >= 0 && server < len(cl.Servers) && watts > 0 {
+			cl.Servers[server].StaticCap = watts
+		}
+	}}
+}
+
+// ScaleDemand returns an event that multiplies every workload's remaining
+// demand by factor — a fleet-wide surge (or trough) such as a flash crowd.
+func ScaleDemand(at int, factor float64) Event {
+	return Event{At: at, Name: fmt.Sprintf("demand-x%.2f", factor), Apply: func(cl *cluster.Cluster) {
+		if factor <= 0 {
+			return
+		}
+		for _, vm := range cl.VMs {
+			vm.Trace.Scale(factor)
+		}
+	}}
+}

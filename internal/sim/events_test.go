@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nopower/internal/testutil"
+)
+
+func TestEventInjectorFiresInOrder(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.2)
+	ev := func(at int, name string) Event {
+		return Event{At: at, Name: name}
+	}
+	inj := NewEventInjector(ev(5, "b"), ev(2, "a"), ev(5, "c"))
+	eng := New(cl, inj)
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	fired := inj.Fired()
+	want := []string{"2:a", "5:b", "5:c"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i, w := range want {
+		if fired[i] != w {
+			t.Errorf("fired[%d] = %q, want %q", i, fired[i], w)
+		}
+	}
+}
+
+func TestFailServerStrandsAndEvacuates(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 3, 100, 0.2)
+	inj := NewEventInjector(FailServer(3, 0))
+	eng := New(cl, inj)
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Servers[0].On {
+		t.Error("failed server still on")
+	}
+	if cl.VMs[0].Server == 0 {
+		t.Error("VM not evacuated from failed server")
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailServerWithNoTargetLosesWork(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.5)
+	inj := NewEventInjector(FailServer(2, 0))
+	eng := New(cl, inj)
+	col, err := eng.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := col.Finalize(0)
+	if res.PerfLoss <= 0.5 {
+		t.Errorf("perf loss %.2f — a total outage should lose most work", res.PerfLoss)
+	}
+}
+
+func TestRestoreServer(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 3, 100, 0.2)
+	inj := NewEventInjector(FailServer(2, 0), RestoreServer(6, 0))
+	eng := New(cl, inj)
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Servers[0].On || cl.Servers[0].PState != 0 {
+		t.Error("server not restored at P0")
+	}
+}
+
+func TestBudgetEvents(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.2)
+	inj := NewEventInjector(SetGroupBudget(1, 123), SetServerBudget(1, 1, 45))
+	eng := New(cl, inj)
+	if _, err := eng.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if cl.StaticCapGrp != 123 {
+		t.Errorf("group budget = %v", cl.StaticCapGrp)
+	}
+	if cl.Servers[1].StaticCap != 45 {
+		t.Errorf("server budget = %v", cl.Servers[1].StaticCap)
+	}
+	// Invalid values are ignored.
+	inj2 := NewEventInjector(SetGroupBudget(0, -5), SetServerBudget(0, 99, 10))
+	eng2 := New(cl, inj2)
+	if _, err := eng2.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if cl.StaticCapGrp != 123 {
+		t.Error("negative group budget applied")
+	}
+}
+
+func TestScaleDemand(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.2)
+	inj := NewEventInjector(ScaleDemand(2, 2.0))
+	eng := New(cl, inj)
+	if _, err := eng.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.VMs[0].Trace.At(3); got != 0.4 {
+		t.Errorf("demand after surge = %v, want 0.4", got)
+	}
+	// Zero factor ignored.
+	NewEventInjector(ScaleDemand(0, 0)).Tick(0, cl)
+	if got := cl.VMs[0].Trace.At(3); got != 0.4 {
+		t.Errorf("zero-factor scale applied: %v", got)
+	}
+}
+
+func TestEventNamesDescriptive(t *testing.T) {
+	events := []Event{
+		FailServer(1, 2), RestoreServer(2, 2),
+		SetGroupBudget(3, 100), SetServerBudget(4, 1, 50), ScaleDemand(5, 1.5),
+	}
+	for _, ev := range events {
+		if ev.Name == "" || !strings.ContainsAny(ev.Name, "0123456789") {
+			t.Errorf("event name %q not descriptive", ev.Name)
+		}
+	}
+}

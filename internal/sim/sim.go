@@ -1,0 +1,104 @@
+// Package sim is the epoch-driven simulation engine: it schedules the
+// controller stack against the cluster plant tick by tick and feeds the
+// metrics collector. Within a tick, controllers run in the order they were
+// registered (the coordinated stack registers coarsest-first: VMC, GM, EM,
+// SM, EC, CAP), then the plant advances, so every controller acts on the
+// previous interval's sensors — the standard discrete feedback-loop timing.
+package sim
+
+import (
+	"fmt"
+
+	"nopower/internal/cluster"
+	"nopower/internal/metrics"
+)
+
+// Controller is anything that can act on the cluster at a tick. Individual
+// controllers decide internally whether a given tick is one of their epochs
+// (k % period == 0).
+type Controller interface {
+	// Name identifies the controller for logs and error messages.
+	Name() string
+	// Tick lets the controller observe sensors and drive actuators.
+	Tick(k int, cl *cluster.Cluster)
+}
+
+// Engine runs one simulation. Run may be called repeatedly; the tick counter
+// persists, so Run(1) in a loop behaves identically to one long Run(n) —
+// callers use this to observe the plant between ticks.
+type Engine struct {
+	// Cluster is the plant under control.
+	Cluster *cluster.Cluster
+	// Controllers run each tick in registration order.
+	Controllers []Controller
+	// Paranoid re-validates cluster invariants every tick (slow; tests).
+	Paranoid bool
+	// Collector accumulates metrics; a fresh one is used if nil.
+	Collector *metrics.Collector
+	// OnTick, if set, is invoked after each plant advance — the hook for
+	// time-series recorders and custom probes.
+	OnTick func(k int, cl *cluster.Cluster)
+
+	tick int
+}
+
+// New builds an engine over a cluster and a controller stack.
+func New(cl *cluster.Cluster, controllers ...Controller) *Engine {
+	return &Engine{Cluster: cl, Controllers: controllers, Collector: &metrics.Collector{}}
+}
+
+// Run advances the simulation for the given number of ticks and returns the
+// collector for finalization.
+func (e *Engine) Run(ticks int) (*metrics.Collector, error) {
+	if ticks <= 0 {
+		return nil, fmt.Errorf("sim: ticks %d", ticks)
+	}
+	if e.Collector == nil {
+		e.Collector = &metrics.Collector{}
+	}
+	for i := 0; i < ticks; i++ {
+		k := e.tick
+		for _, c := range e.Controllers {
+			c.Tick(k, e.Cluster)
+		}
+		e.Cluster.Advance(k)
+		e.Collector.Observe(e.Cluster)
+		if e.OnTick != nil {
+			e.OnTick(k, e.Cluster)
+		}
+		if e.Paranoid {
+			if err := e.Cluster.CheckInvariants(); err != nil {
+				return nil, fmt.Errorf("sim: tick %d after %s: %w", k, lastName(e.Controllers), err)
+			}
+		}
+		e.tick++
+	}
+	return e.Collector, nil
+}
+
+// Tick reports the number of ticks run so far.
+func (e *Engine) Tick() int { return e.tick }
+
+func lastName(cs []Controller) string {
+	if len(cs) == 0 {
+		return "plant"
+	}
+	return cs[len(cs)-1].Name()
+}
+
+// Baseline runs a controller-free simulation (all machines on at P0) over a
+// cluster built by the supplied factory and returns the average group power
+// — the paper's §5.1 baseline "where no controllers for power management are
+// turned on".
+func Baseline(build func() (*cluster.Cluster, error), ticks int) (float64, error) {
+	cl, err := build()
+	if err != nil {
+		return 0, err
+	}
+	eng := New(cl)
+	col, err := eng.Run(ticks)
+	if err != nil {
+		return 0, err
+	}
+	return col.Finalize(0).AvgPower, nil
+}

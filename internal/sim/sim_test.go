@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/testutil"
+)
+
+// recorder logs the ticks it ran at.
+type recorder struct {
+	name  string
+	ticks []int
+	order *[]string
+}
+
+func (r *recorder) Name() string { return r.name }
+func (r *recorder) Tick(k int, cl *cluster.Cluster) {
+	r.ticks = append(r.ticks, k)
+	if r.order != nil {
+		*r.order = append(*r.order, r.name)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 10, 0.2)
+	eng := New(cl)
+	if _, err := eng.Run(0); err == nil {
+		t.Error("zero ticks accepted")
+	}
+	if _, err := eng.Run(-5); err == nil {
+		t.Error("negative ticks accepted")
+	}
+}
+
+func TestControllersRunEveryTickInOrder(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 10, 0.2)
+	var order []string
+	a := &recorder{name: "A", order: &order}
+	b := &recorder{name: "B", order: &order}
+	eng := New(cl, a, b)
+	if _, err := eng.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ticks) != 3 || len(b.ticks) != 3 {
+		t.Fatalf("tick counts %d/%d", len(a.ticks), len(b.ticks))
+	}
+	want := []string{"A", "B", "A", "B", "A", "B"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestMetricsCollected(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 0.5)
+	eng := New(cl)
+	col, err := eng.Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := col.Finalize(0)
+	if r.Ticks != 7 {
+		t.Errorf("Ticks = %d", r.Ticks)
+	}
+	if r.AvgPower <= 0 {
+		t.Error("no power observed")
+	}
+}
+
+// corruptor breaks placement bookkeeping; paranoid mode must catch it.
+type corruptor struct{}
+
+func (corruptor) Name() string { return "corruptor" }
+func (corruptor) Tick(k int, cl *cluster.Cluster) {
+	if k == 2 {
+		cl.VMs[0].Server = 99999 % len(cl.Servers) // lie without updating lists
+		cl.VMs[0].Server = 1
+	}
+}
+
+func TestParanoidCatchesCorruption(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 3, 10, 0.2)
+	eng := New(cl, corruptor{})
+	eng.Paranoid = true
+	if _, err := eng.Run(5); err == nil {
+		t.Error("paranoid mode missed placement corruption")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	build := func() (*cluster.Cluster, error) {
+		return cluster.New(testutil.Config(0, 0, 2), testutil.FlatSet(2, 10, 0.5))
+	}
+	avg, err := Baseline(build, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two BladeA servers at P0, r = 0.55: 2 * (60 + 40*0.55) = 164 W.
+	if avg < 163 || avg > 165 {
+		t.Errorf("baseline = %v, want ~164", avg)
+	}
+	_, err = Baseline(func() (*cluster.Cluster, error) { return nil, errors.New("boom") }, 5)
+	if err == nil {
+		t.Error("builder error swallowed")
+	}
+}

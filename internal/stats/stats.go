@@ -1,0 +1,101 @@
+// Package stats provides the small statistical toolkit the multi-seed
+// experiment runner uses: sample summaries and normal-approximation
+// confidence intervals. Stdlib only — no external statistics dependencies.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample summarizes a set of measurements.
+type Sample struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Sample from raw values.
+func Summarize(values []float64) Sample {
+	s := Sample{N: len(values)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		s.Mean += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range values {
+			ss += (v - s.Mean) * (v - s.Mean)
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	mid := s.N / 2
+	if s.N%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// tCritical95 approximates the two-sided 95 % Student-t critical value for
+// n-1 degrees of freedom (exact table for small n, 1.96 asymptote).
+func tCritical95(df int) float64 {
+	table := map[int]float64{
+		1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+		6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+		15: 2.131, 20: 2.086, 30: 2.042,
+	}
+	if v, ok := table[df]; ok {
+		return v
+	}
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df < 15:
+		return table[10]
+	case df < 20:
+		return table[15]
+	case df < 30:
+		return table[20]
+	default:
+		return 1.96
+	}
+}
+
+// CI95 returns the half-width of the 95 % confidence interval of the mean.
+func (s Sample) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return tCritical95(s.N-1) * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci [min, max]".
+func (s Sample) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("%.3f ± %.3f (n=%d, range [%.3f, %.3f])",
+		s.Mean, s.CI95(), s.N, s.Min, s.Max)
+}
+
+// MeansDiffer reports whether two samples' 95 % intervals are disjoint —
+// the quick significance screen the multi-seed reports use.
+func MeansDiffer(a, b Sample) bool {
+	lo1, hi1 := a.Mean-a.CI95(), a.Mean+a.CI95()
+	lo2, hi2 := b.Mean-b.CI95(), b.Mean+b.CI95()
+	return hi1 < lo2 || hi2 < lo1
+}

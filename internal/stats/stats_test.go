@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	wantStd := math.Sqrt((4 + 1 + 0 + 1 + 4) / 4.0)
+	if math.Abs(s.StdDev-wantStd) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", s.StdDev, wantStd)
+	}
+}
+
+func TestSummarizeEvenMedianAndDegenerate(t *testing.T) {
+	if m := Summarize([]float64{1, 2, 3, 4}).Median; m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty = %+v", s)
+	}
+	one := Summarize([]float64{7})
+	if one.StdDev != 0 || one.CI95() != 0 || one.Median != 7 {
+		t.Errorf("single = %+v", one)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	mkSample := func(n int) Sample {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i % 2) // alternating 0/1: fixed variance
+		}
+		return Summarize(vals)
+	}
+	small, big := mkSample(4), mkSample(40)
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: n=4 %.3f vs n=40 %.3f", small.CI95(), big.CI95())
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, df := range []int{1, 2, 3, 5, 10, 17, 25, 100} {
+		v := tCritical95(df)
+		if v > prev {
+			t.Errorf("t(%d) = %v rose above %v", df, v, prev)
+		}
+		prev = v
+	}
+	if tCritical95(1000) != 1.96 {
+		t.Error("asymptote wrong")
+	}
+}
+
+func TestMeansDiffer(t *testing.T) {
+	a := Summarize([]float64{1.0, 1.01, 0.99, 1.0})
+	b := Summarize([]float64{2.0, 2.01, 1.99, 2.0})
+	if !MeansDiffer(a, b) {
+		t.Error("clearly distinct means not flagged")
+	}
+	c := Summarize([]float64{1.0, 2.0, 0.5, 1.5})
+	if MeansDiffer(a, c) {
+		t.Error("overlapping intervals flagged as different")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, frag := range []string{"2.000", "n=3", "[1.000, 3.000]"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q missing %q", str, frag)
+		}
+	}
+	if Summarize(nil).String() != "n=0" {
+		t.Error("empty String wrong")
+	}
+}
+
+// Property: mean always lies within [min, max] and the CI is non-negative.
+func TestSummarizeBoundsProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.CI95() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the trace parser against malformed input: whatever the
+// bytes, ReadCSV must either return an error or a Set that validates and
+// round-trips. Run with `go test -fuzz=FuzzReadCSV ./internal/trace` for a
+// real fuzzing session; the seed corpus runs on every plain `go test`.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\nweb,db\n0.5,0.25\n1,0\n")
+	f.Add("a\nweb\n")
+	f.Add("")
+	f.Add("a,b\nweb\n0.5\n")
+	f.Add("x\nc\nnot-a-number\n")
+	f.Add("x\nc\n-1\n")
+	f.Add("x\nc\n1e309\n")
+	f.Add("\"q,uo\",b\nc1,c2\n0.1,0.2\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		set, err := ReadCSV(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return // rejected input is fine
+		}
+		if vErr := set.Validate(); vErr != nil {
+			t.Fatalf("accepted set fails validation: %v", vErr)
+		}
+		// Accepted sets must round-trip through the writer.
+		var buf bytes.Buffer
+		if wErr := WriteCSV(&buf, set); wErr != nil {
+			t.Fatalf("accepted set fails to serialize: %v", wErr)
+		}
+		back, rErr := ReadCSV(&buf, "fuzz2")
+		if rErr != nil {
+			t.Fatalf("round trip failed: %v", rErr)
+		}
+		if back.Len() != set.Len() {
+			t.Fatalf("round trip lost traces: %d vs %d", back.Len(), set.Len())
+		}
+	})
+}

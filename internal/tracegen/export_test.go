@@ -1,0 +1,12 @@
+package tracegen
+
+import (
+	"math/rand"
+
+	"nopower/internal/trace"
+)
+
+// oneForTest exposes the single-trace generator to tests with a fixed RNG.
+func oneForTest(cls Class, p Params) *trace.Trace {
+	return one("test", cls, p, rand.New(rand.NewSource(p.Seed)))
+}

@@ -1,0 +1,31 @@
+# Developer targets for the nopower reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench check fmt vet
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the gate for the parallel experiment runner: every experiment
+# test forces the concurrent worker-pool path, so this catches data races
+# in shared caches, models, and the metrics pipeline.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+check: build race

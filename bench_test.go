@@ -7,6 +7,9 @@
 package main
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"nopower/internal/binpack"
@@ -18,14 +21,35 @@ import (
 )
 
 // benchOpts keeps one experiment iteration around a second.
-func benchOpts() experiments.Options { return experiments.Options{Ticks: 1200, Seed: 42} }
+func benchOpts() []experiments.Option {
+	return []experiments.Option{experiments.WithTicks(1200), experiments.WithSeed(42)}
+}
 
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunExperiment(name, benchOpts()); err != nil {
+		if _, err := experiments.RunExperiment(context.Background(), name, benchOpts()...); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelSweep compares the fig7+fig8 batch — the headline
+// configuration sweep, 44 independent simulations — run serially against
+// the worker-pool fan-out at GOMAXPROCS. The output tables are
+// byte-identical either way; only the wall clock should differ.
+func BenchmarkParallelSweep(b *testing.B) {
+	for _, parallel := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel=%d", parallel), func(b *testing.B) {
+			opts := append(benchOpts(), experiments.WithParallelism(parallel))
+			for i := 0; i < b.N; i++ {
+				for _, name := range []string{"fig7", "fig8"} {
+					if _, err := experiments.RunExperiment(context.Background(), name, opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -4,13 +4,20 @@
 // -markdown renders GitHub-flavored tables suitable for EXPERIMENTS.md, and
 // -json emits one machine-readable document.
 //
+// Independent simulation jobs inside each experiment fan out across a
+// worker pool: -parallel bounds the workers (default GOMAXPROCS), -timeout
+// cancels the whole batch, and the tables are byte-identical at any
+// parallelism level.
+//
 // Usage:
 //
-//	npexp [-ticks N] [-seed S] [-markdown|-json] <experiment>...|all|list
+//	npexp [-ticks N] [-seed S] [-parallel P] [-timeout D] [-markdown|-json] <experiment>...|all|list
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +26,7 @@ import (
 
 	"nopower/internal/experiments"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		ticks    = fs.Int("ticks", experiments.DefaultTicks, "simulation length per run in ticks")
 		seed     = fs.Int64("seed", 42, "trace/policy seed")
+		parallel = fs.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		timeout  = fs.Duration("timeout", 0, "cancel the batch after this duration (0 = none)")
 		markdown = fs.Bool("markdown", false, "render Markdown tables")
 		jsonOut  = fs.Bool("json", false, "emit one JSON document with every table")
 		quiet    = fs.Bool("q", false, "suppress progress output")
@@ -59,21 +69,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		names = append(names, arg)
 	}
 
-	opts := experiments.Options{Ticks: *ticks, Seed: *seed}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []experiments.Option{
+		experiments.WithTicks(*ticks),
+		experiments.WithSeed(*seed),
+		experiments.WithParallelism(*parallel),
+	}
 	type namedTables struct {
 		Experiment string          `json:"experiment"`
 		Tables     []*report.Table `json:"tables"`
 	}
 	var all []namedTables
+	batchStart := time.Now()
+	batchJobs := runner.JobCount()
 	for _, name := range names {
 		start := time.Now()
-		tables, err := experiments.RunExperiment(name, opts)
+		jobs := runner.JobCount()
+		tables, err := experiments.RunExperiment(ctx, name, opts...)
 		if err != nil {
-			fmt.Fprintf(stderr, "npexp %s: %v\n", name, err)
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(stderr, "npexp %s: timed out after %s\n", name, *timeout)
+			} else {
+				fmt.Fprintf(stderr, "npexp %s: %v\n", name, err)
+			}
 			return 1
 		}
 		if !*quiet {
-			fmt.Fprintf(stderr, "[%s: %.1fs]\n", name, time.Since(start).Seconds())
+			fmt.Fprintf(stderr, "[%s: %.1fs, %d jobs, parallel=%d]\n",
+				name, time.Since(start).Seconds(), runner.JobCount()-jobs, runner.Parallelism(*parallel))
 		}
 		if *jsonOut {
 			all = append(all, namedTables{Experiment: name, Tables: tables})
@@ -87,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	if !*quiet && len(names) > 1 {
+		fmt.Fprintf(stderr, "[total: %.1fs wall, %d jobs]\n",
+			time.Since(batchStart).Seconds(), runner.JobCount()-batchJobs)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -99,7 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: npexp [-ticks N] [-seed S] [-markdown|-json] <experiment>...|all|list")
+	fmt.Fprintln(w, "usage: npexp [-ticks N] [-seed S] [-parallel P] [-timeout D] [-markdown|-json] <experiment>...|all|list")
 	fmt.Fprintln(w, "experiments:")
 	for _, name := range experiments.Names() {
 		fmt.Fprintf(w, "  %-12s %s\n", name, experiments.Describe(name))

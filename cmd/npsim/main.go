@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		series    = fs.String("series", "", "write a per-tick time-series CSV to this path")
 		stride    = fs.Int("series-stride", 1, "record every Nth tick in the series")
 		traceFile = fs.String("traces", "", "load workloads from a CSV (nptrace format) instead of generating -mix")
+		timeout   = fs.Duration("timeout", 0, "cancel the simulation after this duration (0 = none)")
 		verbose   = fs.Bool("v", false, "print scenario details")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -87,7 +89,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.Traces = set
 	}
 
-	baseline, err := experiments.BaselinePower(sc)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	baseline, err := experiments.BaselinePower(ctx, sc)
 	if err != nil {
 		fmt.Fprintln(stderr, "baseline:", err)
 		return 1
@@ -96,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *series != "" {
 		recorder = &metrics.Series{Stride: *stride}
 	}
-	res, err := experiments.RunRecorded(sc, spec, baseline, recorder)
+	res, err := experiments.RunRecorded(ctx, sc, spec, baseline, recorder)
 	if err != nil {
 		fmt.Fprintln(stderr, "run:", err)
 		return 1

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -23,17 +25,17 @@ type CoolingRow struct {
 // setpoint (the overcooling status quo), an adaptive setpoint without budget
 // coordination, and the fully coordinated zone manager that also exports a
 // cooling-derived group budget.
-func CoolingData(opts Options) ([]CoolingRow, error) {
+func CoolingData(ctx context.Context, opts Options) ([]CoolingRow, error) {
 	opts = opts.normalized()
 	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
 		Ticks: opts.Ticks, Seed: opts.Seed}
-	var rows []CoolingRow
-	for _, policy := range []struct {
+	type cracPolicy struct {
 		name        string
 		adaptive    bool
 		coordinated bool
 		rth         float64 // 0 = the default thermal resistance
-	}{
+	}
+	policies := []cracPolicy{
 		{"fixed cold (15 °C)", false, false, 0},
 		{"adaptive setpoint", true, false, 0},
 		{"adaptive + budget export", true, true, 0},
@@ -43,17 +45,18 @@ func CoolingData(opts Options) ([]CoolingRow, error) {
 		// cooling-derived cap and the zone stays safe.
 		{"degraded airflow, no export", true, false, 0.70},
 		{"degraded airflow + export", true, true, 0.70},
-	} {
+	}
+	return runner.Map(ctx, opts.Parallelism, policies, func(ctx context.Context, policy cracPolicy) (CoolingRow, error) {
 		cl, err := sc.BuildCluster()
 		if err != nil {
-			return nil, err
+			return CoolingRow{}, err
 		}
 		spec := core.Coordinated()
 		spec.EnableCooling = true
 		spec.Coordinated = true // the IT stack stays coordinated throughout
 		eng, h, err := core.Build(cl, spec)
 		if err != nil {
-			return nil, fmt.Errorf("cooling %q: %w", policy.name, err)
+			return CoolingRow{}, fmt.Errorf("cooling %q: %w", policy.name, err)
 		}
 		h.Cooling.Coordinated = policy.coordinated
 		if !policy.adaptive {
@@ -62,9 +65,9 @@ func CoolingData(opts Options) ([]CoolingRow, error) {
 		if policy.rth > 0 {
 			h.Cooling.Thermal.RthCPerW = policy.rth
 		}
-		col, err := eng.Run(sc.normalized().Ticks)
+		col, err := eng.RunContext(ctx, sc.normalized().Ticks)
 		if err != nil {
-			return nil, err
+			return CoolingRow{}, err
 		}
 		res := col.Finalize(0)
 		coolW, maxTemp, trips := h.Cooling.Stats()
@@ -78,14 +81,13 @@ func CoolingData(opts Options) ([]CoolingRow, error) {
 		if res.AvgPower > 0 {
 			row.PUE = (res.AvgPower + coolW) / res.AvgPower
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // Cooling renders the §7 cooling-coordination study.
-func Cooling(opts Options) ([]*report.Table, error) {
-	rows, err := CoolingData(opts)
+func Cooling(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := CoolingData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -8,8 +9,12 @@ import (
 	"nopower/internal/tracegen"
 )
 
-// fastOpts keeps experiment tests quick while leaving ≥ 2 VMC epochs.
-func fastOpts() Options { return Options{Ticks: 1500, Seed: 42} }
+// fastOpts keeps experiment tests quick while leaving ≥ 2 VMC epochs. The
+// explicit parallelism forces the concurrent runner path even on one-CPU
+// machines, so `go test -race` exercises the pool by default.
+func fastOpts() Options { return Options{Ticks: 1500, Seed: 42, Parallelism: 4} }
+
+var ctx = context.Background()
 
 func TestScenarioDefaults(t *testing.T) {
 	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180}.normalized()
@@ -101,14 +106,14 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("experiment %q lacks a description", n)
 		}
 	}
-	if _, err := RunExperiment("bogus", fastOpts()); err == nil {
+	if _, err := RunExperiment(ctx, "bogus"); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 // E1 — Fig. 7: coordination must cut SM-level violations in every config.
 func TestFig7Shape(t *testing.T) {
-	rows, err := Fig7Data(fastOpts())
+	rows, err := Fig7Data(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +138,7 @@ func TestFig7Shape(t *testing.T) {
 // E2 — Fig. 8: the VMC dominates at low utilization, local control at high;
 // savings fall as utilization rises.
 func TestFig8Shape(t *testing.T) {
-	rows, err := Fig8Data(fastOpts())
+	rows, err := Fig8Data(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +173,7 @@ func TestFig8Shape(t *testing.T) {
 
 // E3 — Fig. 9: each disabled interface costs something measurable.
 func TestFig9Shape(t *testing.T) {
-	rows, err := Fig9Data(fastOpts())
+	rows, err := Fig9Data(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +208,7 @@ func TestFig9Shape(t *testing.T) {
 // E4 — Fig. 10: tighter budgets shrink coordinated savings gracefully while
 // uncoordinated violations grow.
 func TestFig10Shape(t *testing.T) {
-	rows, err := Fig10Data(fastOpts())
+	rows, err := Fig10Data(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +238,7 @@ func TestFig10Shape(t *testing.T) {
 // E5 — §5.3: two extreme P-states get close to the full ladder under
 // coordination (within a handful of points of savings).
 func TestPStatesShape(t *testing.T) {
-	rows, err := PStatesData(fastOpts())
+	rows, err := PStatesData(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +258,7 @@ func TestPStatesShape(t *testing.T) {
 
 // E6 — §5.4: forbidding machine-off collapses the savings.
 func TestMachineOffShape(t *testing.T) {
-	rows, err := MachineOffData(fastOpts())
+	rows, err := MachineOffData(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +282,7 @@ func TestMachineOffShape(t *testing.T) {
 // E7 — §5.4: higher migration overhead raises perf loss but the coordinated
 // stack stays under ~10 %.
 func TestMigrationShape(t *testing.T) {
-	rows, err := MigrationData(fastOpts())
+	rows, err := MigrationData(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +302,7 @@ func TestMigrationShape(t *testing.T) {
 
 // E8 — §5.4: EC/SM/GM periods barely matter (relative invariance).
 func TestTimeConstantsShape(t *testing.T) {
-	rows, err := TimeConstantsData(fastOpts())
+	rows, err := TimeConstantsData(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +329,7 @@ func TestTimeConstantsShape(t *testing.T) {
 
 // E9 — §5.4: no policy changes the picture dramatically.
 func TestPoliciesShape(t *testing.T) {
-	rows, err := PoliciesData(fastOpts())
+	rows, err := PoliciesData(ctx, fastOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +355,7 @@ func TestPoliciesShape(t *testing.T) {
 // E10 — §5.1: the uncoordinated prototype trips thermal failover, the
 // coordinated one does not.
 func TestFailoverShape(t *testing.T) {
-	rows, err := FailoverData(Options{Ticks: 3000})
+	rows, err := FailoverData(ctx, Options{Ticks: 3000, Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -385,7 +390,7 @@ func TestStabilityShape(t *testing.T) {
 // Beyond-paper: the multi-seed aggregation keeps the violation ordering
 // significant across trace draws.
 func TestMultiSeedShape(t *testing.T) {
-	rows, err := MultiSeedData(Options{Ticks: 1200, Seed: 42}, 3)
+	rows, err := MultiSeedData(ctx, Options{Ticks: 1200, Seed: 42, Parallelism: 4}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +417,7 @@ func TestMultiSeedShape(t *testing.T) {
 // §6.1 extensions: the variants run and the energy-delay objective trades
 // savings for performance as designed.
 func TestExtensionsShape(t *testing.T) {
-	tables, err := Extensions(Options{Ticks: 1500, Seed: 42})
+	tables, err := Extensions(ctx, Options{Ticks: 1500, Seed: 42, Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +459,7 @@ func TestExtensionsShape(t *testing.T) {
 func TestAllTablesRender(t *testing.T) {
 	opts := Options{Ticks: 600, Seed: 42}
 	for _, name := range Names() {
-		tables, err := RunExperiment(name, opts)
+		tables, err := RunExperiment(ctx, name, WithOptions(opts))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

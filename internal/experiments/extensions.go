@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/model"
 	"nopower/internal/platform"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/sim"
 	"nopower/internal/tracegen"
 )
@@ -14,42 +16,26 @@ import (
 // Extensions exercises the §6.1 extension catalogue that goes beyond the
 // five base controllers: VM-level efficiency control with arbitration (4),
 // the energy-delay objective (6), the electrical capper (2), heterogeneous
-// fleets (5), and the MIMO component/platform coordination (1, 3).
-func Extensions(opts Options) ([]*report.Table, error) {
+// fleets (5), and the MIMO component/platform coordination (1, 3). The
+// four sub-studies are independent and fan out across the worker pool.
+func Extensions(ctx context.Context, opts Options) ([]*report.Table, error) {
 	opts = opts.normalized()
-	var tables []*report.Table
-
-	t1, err := extensionStacks(opts)
-	if err != nil {
-		return nil, err
+	builders := []func(ctx context.Context) (*report.Table, error){
+		func(ctx context.Context) (*report.Table, error) { return extensionStacks(ctx, opts) },
+		func(ctx context.Context) (*report.Table, error) { return extensionHeterogeneous(ctx, opts) },
+		func(ctx context.Context) (*report.Table, error) { return extensionMIMO() },
+		func(ctx context.Context) (*report.Table, error) { return extensionRack(ctx, opts) },
 	}
-	tables = append(tables, t1)
-
-	t2, err := extensionHeterogeneous(opts)
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, t2)
-
-	t3, err := extensionMIMO()
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, t3)
-
-	t4, err := extensionRack(opts)
-	if err != nil {
-		return nil, err
-	}
-	tables = append(tables, t4)
-
-	return tables, nil
+	return runner.Map(ctx, opts.Parallelism, builders,
+		func(ctx context.Context, build func(ctx context.Context) (*report.Table, error)) (*report.Table, error) {
+			return build(ctx)
+		})
 }
 
 // extensionRack nests the MIMO platform cappers under a rack manager — the
 // §6.1(1) component↔platform↔rack analogue of GM→EM→SM — and sweeps the
 // rack budget headroom.
-func extensionRack(opts Options) (*report.Table, error) {
+func extensionRack(ctx context.Context, opts Options) (*report.Table, error) {
 	t := &report.Table{
 		Title:  "§6.1 extension 1 — rack of MIMO platforms (8 machines, mixed classes, nested budgets)",
 		Note:   "Rack manager re-provisions platform budgets by proportional share + min rule; each platform co-selects CPU/mem/disk states.",
@@ -59,7 +45,11 @@ func extensionRack(opts Options) (*report.Table, error) {
 	if ticks > 1500 {
 		ticks = 1500 // the rack simulation is per-tick exhaustive-optimize
 	}
-	for _, offRack := range []float64{0.10, 0.25, 0.40} {
+	headrooms := []float64{0.10, 0.25, 0.40}
+	rows, err := runner.Map(ctx, opts.Parallelism, headrooms, func(ctx context.Context, offRack float64) ([]string, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := platform.NewRack(8, ticks, opts.Seed, 1.8, offRack, 0.05)
 		if err != nil {
 			return nil, err
@@ -68,8 +58,14 @@ func extensionRack(opts Options) (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(fmt.Sprintf("%.0f%%", offRack*100), report.Watts(res.AvgPower),
-			report.Pct(res.AvgServed), report.Pct(res.RackViolations), report.Pct(res.LocalViolations))
+		return []string{fmt.Sprintf("%.0f%%", offRack*100), report.Watts(res.AvgPower),
+			report.Pct(res.AvgServed), report.Pct(res.RackViolations), report.Pct(res.LocalViolations)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -77,13 +73,9 @@ func extensionRack(opts Options) (*report.Table, error) {
 // extensionStacks compares the base coordinated stack against the VM-level
 // EC wiring, the energy-delay objective, and the added electrical capper on
 // the standard BladeA/180 scenario.
-func extensionStacks(opts Options) (*report.Table, error) {
+func extensionStacks(ctx context.Context, opts Options) (*report.Table, error) {
 	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
 		Ticks: opts.Ticks, Seed: opts.Seed}
-	baseline, err := cachedBaseline(sc)
-	if err != nil {
-		return nil, err
-	}
 	vmLevel := core.Coordinated()
 	vmLevel.VMLevelEC = true
 	energyDelay := core.Coordinated()
@@ -98,22 +90,34 @@ func extensionStacks(opts Options) (*report.Table, error) {
 		Note:   "VM-level EC = per-VM loops + sum arbitration (ext. 4); energy-delay = packing objective with a delay term (ext. 6); +CAP = electrical capper (ext. 2); Perf-SLO = §7 performance manager feeding the packing-headroom buffer.",
 		Header: []string{"Variant", "Pwr-save", "Perf-loss", "Viol(SM)", "Viol(GM)"},
 	}
-	for _, v := range []struct {
+	type variant struct {
 		name string
 		spec core.Spec
-	}{
+	}
+	variants := []variant{
 		{"Coordinated (base)", core.Coordinated()},
 		{"VM-level EC", vmLevel},
 		{"Energy-delay objective", energyDelay},
 		{"Base + electrical CAP", capped},
 		{"Perf-SLO manager (§7)", slo},
-	} {
-		res, err := RunVsBaseline(sc, v.spec, baseline)
+	}
+	rows, err := runner.Map(ctx, opts.Parallelism, variants, func(ctx context.Context, v variant) ([]string, error) {
+		baseline, err := cachedBaseline(ctx, sc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunVsBaseline(ctx, sc, v.spec, baseline)
 		if err != nil {
 			return nil, fmt.Errorf("extensions %q: %w", v.name, err)
 		}
-		t.AddRow(v.name, report.Pct(res.PowerSavings), report.Pct(res.PerfLoss),
-			report.Pct(res.ViolSM), report.Pct(res.ViolGM))
+		return []string{v.name, report.Pct(res.PowerSavings), report.Pct(res.PerfLoss),
+			report.Pct(res.ViolSM), report.Pct(res.ViolGM)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -121,7 +125,7 @@ func extensionStacks(opts Options) (*report.Table, error) {
 // extensionHeterogeneous runs the coordinated stack over a half-BladeA,
 // half-ServerB fleet (§6.1 extension 5): "easily addressed by including a
 // range of different models in the controllers".
-func extensionHeterogeneous(opts Options) (*report.Table, error) {
+func extensionHeterogeneous(ctx context.Context, opts Options) (*report.Table, error) {
 	set, err := tracegen.BuildMix(tracegen.Mix180, opts.Ticks, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -153,7 +157,7 @@ func extensionHeterogeneous(opts Options) (*report.Table, error) {
 				return nil, err
 			}
 		}
-		col, err := sim.New(bcl).Run(opts.Ticks)
+		col, err := sim.New(bcl).RunContext(ctx, opts.Ticks)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +168,7 @@ func extensionHeterogeneous(opts Options) (*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	col, err := eng.Run(opts.Ticks)
+	col, err := eng.RunContext(ctx, opts.Ticks)
 	if err != nil {
 		return nil, err
 	}

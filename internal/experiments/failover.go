@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/cluster"
 	"nopower/internal/core"
 	"nopower/internal/model"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/thermal"
 	"nopower/internal/trace"
 )
@@ -32,23 +34,19 @@ type FailoverRow struct {
 // the machine trips thermal failover; the coordinated pair bounds the
 // violation duty cycle and the temperature settles below the trip point —
 // exactly the §2.1 leeway thermal budgeting relies on.
-func FailoverData(opts Options) ([]FailoverRow, error) {
+func FailoverData(ctx context.Context, opts Options) ([]FailoverRow, error) {
 	opts = opts.normalized()
-	var rows []FailoverRow
-	for _, stack := range []struct {
+	type pair struct {
 		name string
 		spec core.Spec
-	}{
+	}
+	stacks := []pair{
 		{"Coordinated EC+SM", failoverPair(true)},
 		{"Uncoordinated EC+SM", failoverPair(false)},
-	} {
-		row, err := runFailover(stack.name, stack.spec, opts)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, stacks, func(ctx context.Context, stack pair) (FailoverRow, error) {
+		return runFailover(ctx, stack.name, stack.spec, opts)
+	})
 }
 
 func failoverPair(coordinated bool) core.Spec {
@@ -59,7 +57,7 @@ func failoverPair(coordinated bool) core.Spec {
 	}
 }
 
-func runFailover(name string, spec core.Spec, opts Options) (FailoverRow, error) {
+func runFailover(ctx context.Context, name string, spec core.Spec, opts Options) (FailoverRow, error) {
 	demand := make([]float64, opts.Ticks)
 	for i := range demand {
 		demand[i] = 1.05 // sustained saturating load
@@ -87,7 +85,7 @@ func runFailover(name string, spec core.Spec, opts Options) (FailoverRow, error)
 	over := 0
 	// Run tick by tick so the thermal model integrates the power signal.
 	for k := 0; k < opts.Ticks; k++ {
-		if _, err := eng.Run(1); err != nil {
+		if _, err := eng.RunContext(ctx, 1); err != nil {
 			return FailoverRow{}, err
 		}
 		s := cl.Servers[0]
@@ -104,8 +102,8 @@ func runFailover(name string, spec core.Spec, opts Options) (FailoverRow, error)
 }
 
 // Failover renders the §5.1 thermal-failover prototype.
-func Failover(opts Options) ([]*report.Table, error) {
-	rows, err := FailoverData(opts)
+func Failover(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := FailoverData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -18,18 +20,19 @@ type Fig10Row struct {
 }
 
 // Fig10Data sweeps the three budget configurations for both stacks and
-// systems on the 180 mix.
-func Fig10Data(opts Options) ([]Fig10Row, error) {
+// systems on the 180 mix, fanned out across the worker pool in table order.
+func Fig10Data(ctx context.Context, opts Options) ([]Fig10Row, error) {
 	opts = opts.normalized()
-	var rows []Fig10Row
+	type job struct {
+		sc    Scenario
+		stack string
+		spec  core.Spec
+	}
+	var jobs []job
 	for _, model := range []string{"BladeA", "ServerB"} {
 		for _, budgets := range BudgetConfigs() {
 			sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: budgets,
 				Ticks: opts.Ticks, Seed: opts.Seed}
-			baseline, err := cachedBaseline(sc)
-			if err != nil {
-				return nil, err
-			}
 			for _, stack := range []struct {
 				name string
 				spec core.Spec
@@ -37,23 +40,29 @@ func Fig10Data(opts Options) ([]Fig10Row, error) {
 				{"Coordinated", core.Coordinated()},
 				{"Uncoordinated", core.Uncoordinated()},
 			} {
-				res, err := RunVsBaseline(sc, stack.spec, baseline)
-				if err != nil {
-					return nil, fmt.Errorf("fig10 %s %s %s: %w", model, budgets.Label(), stack.name, err)
-				}
-				rows = append(rows, Fig10Row{Model: model, Budgets: budgets, Stack: stack.name, Result: res})
+				jobs = append(jobs, job{sc: sc, stack: stack.name, spec: stack.spec})
 			}
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (Fig10Row, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.spec, baseline)
+		if err != nil {
+			return Fig10Row{}, fmt.Errorf("fig10 %s %s %s: %w", j.sc.Model, j.sc.Budgets.Label(), j.stack, err)
+		}
+		return Fig10Row{Model: j.sc.Model, Budgets: j.sc.Budgets, Stack: j.stack, Result: res}, nil
+	})
 }
 
 // Fig10 reproduces Fig. 10: the impact of progressively tighter power
 // budgets (larger peak-power savings) on both stacks. The coordinated
 // solution adapts — savings drop because the VMC turns conservative — while
 // the uncoordinated one progressively degrades in violations.
-func Fig10(opts Options) ([]*report.Table, error) {
-	rows, err := Fig10Data(opts)
+func Fig10(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := Fig10Data(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -32,17 +34,21 @@ type Fig7Row struct {
 	Result metrics.Result
 }
 
-// Fig7Data runs the experiment and returns the raw rows.
-func Fig7Data(opts Options) ([]Fig7Row, error) {
+// Fig7Data runs the experiment and returns the raw rows. The (config,
+// stack) pairs are independent simulations, so they fan out across the
+// worker pool; row order is fixed by the job list, not completion order.
+func Fig7Data(ctx context.Context, opts Options) ([]Fig7Row, error) {
 	opts = opts.normalized()
-	var rows []Fig7Row
+	type job struct {
+		sc    Scenario
+		cfg   Fig7Config
+		stack string
+		spec  core.Spec
+	}
+	var jobs []job
 	for _, cfg := range Fig7Configs() {
 		sc := Scenario{Model: cfg.Model, Mix: cfg.Mix, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, stack := range []struct {
 			name string
 			spec core.Spec
@@ -50,22 +56,28 @@ func Fig7Data(opts Options) ([]Fig7Row, error) {
 			{"Coordinated", core.Coordinated()},
 			{"Uncoordinated", core.Uncoordinated()},
 		} {
-			res, err := RunVsBaseline(sc, stack.spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s/%s %s: %w", cfg.Model, cfg.Mix, stack.name, err)
-			}
-			rows = append(rows, Fig7Row{Config: cfg, Stack: stack.name, Result: res})
+			jobs = append(jobs, job{sc: sc, cfg: cfg, stack: stack.name, spec: stack.spec})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (Fig7Row, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return Fig7Row{}, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.spec, baseline)
+		if err != nil {
+			return Fig7Row{}, fmt.Errorf("fig7 %s/%s %s: %w", j.cfg.Model, j.cfg.Mix, j.stack, err)
+		}
+		return Fig7Row{Config: j.cfg, Stack: j.stack, Result: res}, nil
+	})
 }
 
 // Fig7 reproduces Fig. 7: budget violations at the GM/EM/SM levels plus
 // performance loss, coordinated vs uncoordinated, for the four base
 // configurations (the paper plots these as negative bars; power savings are
 // included as the headline the §5.1 text quotes).
-func Fig7(opts Options) ([]*report.Table, error) {
-	rows, err := Fig7Data(opts)
+func Fig7(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := Fig7Data(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

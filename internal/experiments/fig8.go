@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -18,36 +20,57 @@ type Fig8Row struct {
 }
 
 // Fig8Data runs the controller-isolation experiment across all six workload
-// mixes and both systems.
-func Fig8Data(opts Options) ([]Fig8Row, error) {
+// mixes and both systems. Every (model, mix, stack) triple is an
+// independent simulation — 36 jobs — fanned out across the worker pool;
+// the three stacks of one row share a cached baseline via singleflight.
+func Fig8Data(ctx context.Context, opts Options) ([]Fig8Row, error) {
 	opts = opts.normalized()
-	var rows []Fig8Row
+	type cell struct {
+		sc    Scenario
+		stack string
+		spec  core.Spec
+	}
+	var jobs []cell
 	for _, model := range []string{"BladeA", "ServerB"} {
 		for _, mix := range tracegen.AllMixes() {
 			sc := Scenario{Model: model, Mix: mix, Budgets: Base201510(),
 				Ticks: opts.Ticks, Seed: opts.Seed}
-			baseline, err := cachedBaseline(sc)
-			if err != nil {
-				return nil, err
-			}
-			row := Fig8Row{Model: model, Mix: mix}
 			for _, stack := range []struct {
 				name string
 				spec core.Spec
-				dst  *float64
 			}{
-				{"Coordinated", core.Coordinated(), &row.Coordinated},
-				{"NoVMC", core.NoVMC(), &row.NoVMC},
-				{"VMCOnly", core.VMCOnly(), &row.VMCOnly},
+				{"Coordinated", core.Coordinated()},
+				{"NoVMC", core.NoVMC()},
+				{"VMCOnly", core.VMCOnly()},
 			} {
-				res, err := RunVsBaseline(sc, stack.spec, baseline)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s %s: %w", model, mix, stack.name, err)
-				}
-				*stack.dst = res.PowerSavings
+				jobs = append(jobs, cell{sc: sc, stack: stack.name, spec: stack.spec})
 			}
-			rows = append(rows, row)
 		}
+	}
+	savings, err := runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j cell) (float64, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return 0, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.spec, baseline)
+		if err != nil {
+			return 0, fmt.Errorf("fig8 %s/%s %s: %w", j.sc.Model, j.sc.Mix, j.stack, err)
+		}
+		return res.PowerSavings, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Reassemble the three stack cells of each row in job order.
+	var rows []Fig8Row
+	for i := 0; i < len(jobs); i += 3 {
+		rows = append(rows, Fig8Row{
+			Model:       jobs[i].sc.Model,
+			Mix:         jobs[i].sc.Mix,
+			Coordinated: savings[i],
+			NoVMC:       savings[i+1],
+			VMCOnly:     savings[i+2],
+		})
 	}
 	return rows, nil
 }
@@ -56,8 +79,8 @@ func Fig8Data(opts Options) ([]Fig8Row, error) {
 // stack, with the VMC disabled, and with only the VMC, across workload mixes
 // of increasing utilization — isolating which controller the savings come
 // from.
-func Fig8(opts Options) ([]*report.Table, error) {
-	rows, err := Fig8Data(opts)
+func Fig8(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := Fig8Data(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

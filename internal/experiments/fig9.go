@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -35,30 +37,41 @@ type Fig9Row struct {
 	Result  metrics.Result
 }
 
-// Fig9Data runs every ablation for both systems on the 180 mix.
-func Fig9Data(opts Options) ([]Fig9Row, error) {
+// Fig9Data runs every ablation for both systems on the 180 mix, fanned
+// out across the worker pool in table order.
+func Fig9Data(ctx context.Context, opts Options) ([]Fig9Row, error) {
 	opts = opts.normalized()
-	var rows []Fig9Row
+	type job struct {
+		sc      Scenario
+		variant Fig9Variant
+	}
+	var jobs []job
 	for _, model := range []string{"BladeA", "ServerB"} {
 		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, v := range Fig9Variants() {
 			vsc := sc
 			if v.Name == "Uncoordinated, min Pstates" {
 				vsc.PStates = []int{0, lastPState(model)}
 			}
-			res, err := RunVsBaseline(vsc, v.Spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s %q: %w", model, v.Name, err)
-			}
-			rows = append(rows, Fig9Row{Model: model, Variant: v.Name, Result: res})
+			jobs = append(jobs, job{sc: vsc, variant: v})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (Fig9Row, error) {
+		// The baseline ignores the ablation's P-state restriction: key off
+		// the unrestricted scenario so all variants of a model share it.
+		bsc := j.sc
+		bsc.PStates = nil
+		baseline, err := cachedBaseline(ctx, bsc)
+		if err != nil {
+			return Fig9Row{}, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.variant.Spec, baseline)
+		if err != nil {
+			return Fig9Row{}, fmt.Errorf("fig9 %s %q: %w", j.sc.Model, j.variant.Name, err)
+		}
+		return Fig9Row{Model: j.sc.Model, Variant: j.variant.Name, Result: res}, nil
+	})
 }
 
 // lastPState returns the deepest P-state index of a named model.
@@ -71,8 +84,8 @@ func lastPState(model string) int {
 
 // Fig9 reproduces Fig. 9: the coordination-interface ablation table —
 // each of the architecture's assumptions disabled one at a time.
-func Fig9(opts Options) ([]*report.Table, error) {
-	rows, err := Fig9Data(opts)
+func Fig9(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := Fig9Data(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

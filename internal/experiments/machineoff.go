@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -21,32 +23,38 @@ type MachineOffRow struct {
 // machines down. The paper reports Blade A dropping from 64 % to 23 %
 // savings and Server B to ~5 % — and notes the architecture automatically
 // shifts toward local power control.
-func MachineOffData(opts Options) ([]MachineOffRow, error) {
+func MachineOffData(ctx context.Context, opts Options) ([]MachineOffRow, error) {
 	opts = opts.normalized()
-	var rows []MachineOffRow
+	type job struct {
+		sc       Scenario
+		allowOff bool
+	}
+	var jobs []job
 	for _, model := range []string{"BladeA", "ServerB"} {
 		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, allowOff := range []bool{true, false} {
-			spec := core.Coordinated()
-			spec.AllowOff = allowOff
-			res, err := RunVsBaseline(sc, spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("machineoff %s allowOff=%v: %w", model, allowOff, err)
-			}
-			rows = append(rows, MachineOffRow{Model: model, AllowOff: allowOff, Result: res})
+			jobs = append(jobs, job{sc: sc, allowOff: allowOff})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (MachineOffRow, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return MachineOffRow{}, err
+		}
+		spec := core.Coordinated()
+		spec.AllowOff = j.allowOff
+		res, err := RunVsBaseline(ctx, j.sc, spec, baseline)
+		if err != nil {
+			return MachineOffRow{}, fmt.Errorf("machineoff %s allowOff=%v: %w", j.sc.Model, j.allowOff, err)
+		}
+		return MachineOffRow{Model: j.sc.Model, AllowOff: j.allowOff, Result: res}, nil
+	})
 }
 
 // MachineOff renders the §5.4 machine-off study.
-func MachineOff(opts Options) ([]*report.Table, error) {
-	rows, err := MachineOffData(opts)
+func MachineOff(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := MachineOffData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

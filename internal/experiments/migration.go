@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -20,30 +22,31 @@ type MigrationRow struct {
 // pre-copy migration penalties of 10 %, 20 %, and 50 % during the migration
 // window. The paper's finding: performance degradation grows but stays under
 // 10 % for the coordinated solution.
-func MigrationData(opts Options) ([]MigrationRow, error) {
+func MigrationData(ctx context.Context, opts Options) ([]MigrationRow, error) {
 	opts = opts.normalized()
-	var rows []MigrationRow
+	var jobs []Scenario
 	for _, model := range []string{"BladeA", "ServerB"} {
 		for _, alphaM := range []float64{0.10, 0.20, 0.50} {
-			sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
-				Ticks: opts.Ticks, Seed: opts.Seed, AlphaM: alphaM}
-			baseline, err := cachedBaseline(sc)
-			if err != nil {
-				return nil, err
-			}
-			res, err := RunVsBaseline(sc, core.Coordinated(), baseline)
-			if err != nil {
-				return nil, fmt.Errorf("migration %s alphaM=%v: %w", model, alphaM, err)
-			}
-			rows = append(rows, MigrationRow{Model: model, AlphaM: alphaM, Result: res})
+			jobs = append(jobs, Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
+				Ticks: opts.Ticks, Seed: opts.Seed, AlphaM: alphaM})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, sc Scenario) (MigrationRow, error) {
+		baseline, err := cachedBaseline(ctx, sc)
+		if err != nil {
+			return MigrationRow{}, err
+		}
+		res, err := RunVsBaseline(ctx, sc, core.Coordinated(), baseline)
+		if err != nil {
+			return MigrationRow{}, fmt.Errorf("migration %s alphaM=%v: %w", sc.Model, sc.AlphaM, err)
+		}
+		return MigrationRow{Model: sc.Model, AlphaM: sc.AlphaM, Result: res}, nil
+	})
 }
 
 // Migration renders the §5.4 migration-overhead study.
-func Migration(opts Options) ([]*report.Table, error) {
-	rows, err := MigrationData(opts)
+func Migration(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := MigrationData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

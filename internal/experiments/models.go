@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/model"
@@ -11,7 +12,7 @@ import (
 // table and the power/performance model curves) as tables: the two system
 // calibrations at every P-state, with the derived quantities the evaluation
 // leans on — each system's relative power range and idle-power fraction.
-func Models(opts Options) ([]*report.Table, error) {
+func Models(_ context.Context, opts Options) ([]*report.Table, error) {
 	var tables []*report.Table
 	for _, m := range []*model.Model{model.BladeA(), model.ServerB()} {
 		if err := m.Validate(); err != nil {

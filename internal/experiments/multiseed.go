@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
+	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/stats"
 	"nopower/internal/tracegen"
 )
@@ -22,7 +25,7 @@ type MultiSeedResult struct {
 // summarizes each metric with a 95 % confidence interval. This goes beyond
 // the paper (which reports single runs) and checks that the reproduction's
 // conclusions are not an artifact of one synthetic trace draw.
-func MultiSeedData(opts Options, seeds int) ([]MultiSeedResult, error) {
+func MultiSeedData(ctx context.Context, opts Options, seeds int) ([]MultiSeedResult, error) {
 	opts = opts.normalized()
 	if seeds < 2 {
 		seeds = 5
@@ -34,25 +37,43 @@ func MultiSeedData(opts Options, seeds int) ([]MultiSeedResult, error) {
 		{"Coordinated", core.Coordinated()},
 		{"Uncoordinated", core.Uncoordinated()},
 	}
-	save := map[string][]float64{}
-	perf := map[string][]float64{}
-	viol := map[string][]float64{}
+	// One job per (seed, stack); the per-stack sample slices are assembled
+	// afterwards in job order so the summaries never depend on scheduling.
+	type job struct {
+		sc    Scenario
+		seed  int
+		stack string
+		spec  core.Spec
+	}
+	var jobs []job
 	for s := 0; s < seeds; s++ {
 		sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed + int64(s)*1000}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, stack := range stacks {
-			res, err := RunVsBaseline(sc, stack.spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("multiseed seed %d %s: %w", s, stack.name, err)
-			}
-			save[stack.name] = append(save[stack.name], res.PowerSavings)
-			perf[stack.name] = append(perf[stack.name], res.PerfLoss)
-			viol[stack.name] = append(viol[stack.name], res.ViolSM)
+			jobs = append(jobs, job{sc: sc, seed: s, stack: stack.name, spec: stack.spec})
 		}
+	}
+	results, err := runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (metrics.Result, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.spec, baseline)
+		if err != nil {
+			return metrics.Result{}, fmt.Errorf("multiseed seed %d %s: %w", j.seed, j.stack, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	save := map[string][]float64{}
+	perf := map[string][]float64{}
+	viol := map[string][]float64{}
+	for i, j := range jobs {
+		save[j.stack] = append(save[j.stack], results[i].PowerSavings)
+		perf[j.stack] = append(perf[j.stack], results[i].PerfLoss)
+		viol[j.stack] = append(viol[j.stack], results[i].ViolSM)
 	}
 	var out []MultiSeedResult
 	for _, stack := range stacks {
@@ -67,8 +88,8 @@ func MultiSeedData(opts Options, seeds int) ([]MultiSeedResult, error) {
 }
 
 // MultiSeed renders the seed-robustness check.
-func MultiSeed(opts Options) ([]*report.Table, error) {
-	rows, err := MultiSeedData(opts, 5)
+func MultiSeed(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := MultiSeedData(ctx, opts, 5)
 	if err != nil {
 		return nil, err
 	}

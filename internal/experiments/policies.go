@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/policy"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -21,32 +23,38 @@ type PolicyRow struct {
 // division policy swept across all six implementations. The paper's finding:
 // no significant variation — the architecture is robust to individual policy
 // decisions.
-func PoliciesData(opts Options) ([]PolicyRow, error) {
+func PoliciesData(ctx context.Context, opts Options) ([]PolicyRow, error) {
 	opts = opts.normalized()
-	var rows []PolicyRow
+	type job struct {
+		sc     Scenario
+		policy string
+	}
+	var jobs []job
 	for _, model := range []string{"BladeA", "ServerB"} {
 		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, pol := range policy.Names() {
-			spec := core.Coordinated()
-			spec.Policy = pol
-			res, err := RunVsBaseline(sc, spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("policies %s %s: %w", model, pol, err)
-			}
-			rows = append(rows, PolicyRow{Model: model, Policy: pol, Result: res})
+			jobs = append(jobs, job{sc: sc, policy: pol})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (PolicyRow, error) {
+		baseline, err := cachedBaseline(ctx, j.sc)
+		if err != nil {
+			return PolicyRow{}, err
+		}
+		spec := core.Coordinated()
+		spec.Policy = j.policy
+		res, err := RunVsBaseline(ctx, j.sc, spec, baseline)
+		if err != nil {
+			return PolicyRow{}, fmt.Errorf("policies %s %s: %w", j.sc.Model, j.policy, err)
+		}
+		return PolicyRow{Model: j.sc.Model, Policy: j.policy, Result: res}, nil
+	})
 }
 
 // Policies renders the §5.4 policy study.
-func Policies(opts Options) ([]*report.Table, error) {
-	rows, err := PoliciesData(opts)
+func Policies(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := PoliciesData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

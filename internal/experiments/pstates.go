@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -21,16 +23,18 @@ type PStatesRow struct {
 // states (§5.3): the paper's finding is that two well-separated states get
 // close to full-ladder behaviour under coordination, and that coordination
 // matters more when control is coarser.
-func PStatesData(opts Options) ([]PStatesRow, error) {
+func PStatesData(ctx context.Context, opts Options) ([]PStatesRow, error) {
 	opts = opts.normalized()
-	var rows []PStatesRow
+	type job struct {
+		sc     Scenario
+		ladder string
+		stack  string
+		spec   core.Spec
+	}
+	var jobs []job
 	for _, model := range []string{"BladeA", "ServerB"} {
 		sc := Scenario{Model: model, Mix: tracegen.Mix180, Budgets: Base201510(),
 			Ticks: opts.Ticks, Seed: opts.Seed}
-		baseline, err := cachedBaseline(sc)
-		if err != nil {
-			return nil, err
-		}
 		for _, ladder := range []struct {
 			name    string
 			pstates []int
@@ -47,21 +51,28 @@ func PStatesData(opts Options) ([]PStatesRow, error) {
 			} {
 				vsc := sc
 				vsc.PStates = ladder.pstates
-				res, err := RunVsBaseline(vsc, stack.spec, baseline)
-				if err != nil {
-					return nil, fmt.Errorf("pstates %s %s %s: %w", model, ladder.name, stack.name, err)
-				}
-				rows = append(rows, PStatesRow{Model: model, Ladder: ladder.name,
-					Stack: stack.name, Result: res})
+				jobs = append(jobs, job{sc: vsc, ladder: ladder.name, stack: stack.name, spec: stack.spec})
 			}
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (PStatesRow, error) {
+		bsc := j.sc
+		bsc.PStates = nil
+		baseline, err := cachedBaseline(ctx, bsc)
+		if err != nil {
+			return PStatesRow{}, err
+		}
+		res, err := RunVsBaseline(ctx, j.sc, j.spec, baseline)
+		if err != nil {
+			return PStatesRow{}, fmt.Errorf("pstates %s %s %s: %w", j.sc.Model, j.ladder, j.stack, err)
+		}
+		return PStatesRow{Model: j.sc.Model, Ladder: j.ladder, Stack: j.stack, Result: res}, nil
+	})
 }
 
 // PStates renders the §5.3 P-state-count study.
-func PStates(opts Options) ([]*report.Table, error) {
-	rows, err := PStatesData(opts)
+func PStates(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := PStatesData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

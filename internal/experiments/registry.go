@@ -1,20 +1,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"nopower/internal/report"
+	"nopower/internal/runner"
 )
 
 // Options tunes an experiment run. Zero values select the paper-faithful
-// defaults; tests and benchmarks shrink Ticks for speed.
+// defaults; tests and benchmarks shrink Ticks for speed. Construct it with
+// the With* functional options (the canonical API); the struct remains
+// exported so positional literals keep compiling.
 type Options struct {
 	// Ticks is the per-simulation length (0 = DefaultTicks).
 	Ticks int
 	// Seed drives trace generation (0 = 42).
 	Seed int64
+	// Parallelism bounds the worker pool that fans independent simulation
+	// jobs out (0 = GOMAXPROCS, 1 = serial). Results are deterministic at
+	// any setting: tables are keyed by job, never by completion order.
+	Parallelism int
 }
 
 func (o Options) normalized() Options {
@@ -27,8 +34,35 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// Runner executes one experiment and renders its artifact tables.
-type Runner func(Options) ([]*report.Table, error)
+// Option mutates an Options value; the With* constructors below are the
+// canonical way to configure RunExperiment.
+type Option func(*Options)
+
+// WithTicks sets the per-simulation length.
+func WithTicks(n int) Option { return func(o *Options) { o.Ticks = n } }
+
+// WithSeed sets the trace/policy seed.
+func WithSeed(s int64) Option { return func(o *Options) { o.Seed = s } }
+
+// WithParallelism bounds the experiment worker pool (0 = GOMAXPROCS).
+func WithParallelism(p int) Option { return func(o *Options) { o.Parallelism = p } }
+
+// WithOptions overlays a whole Options struct — the bridge for callers
+// migrating from the positional form.
+func WithOptions(opts Options) Option { return func(o *Options) { *o = opts } }
+
+// BuildOptions folds functional options over the zero value.
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// Runner executes one experiment and renders its artifact tables. The
+// context cancels the run between simulation ticks and between jobs.
+type Runner func(ctx context.Context, opts Options) ([]*report.Table, error)
 
 // registry maps experiment IDs (DESIGN.md §4) to runners.
 var registry = map[string]struct {
@@ -72,19 +106,32 @@ func Names() []string {
 // Describe returns the one-line description of an experiment.
 func Describe(name string) string { return registry[name].desc }
 
-// Run executes a registered experiment by name.
-func RunExperiment(name string, opts Options) ([]*report.Table, error) {
+// RunExperiment executes a registered experiment by name. This is the
+// canonical entry point: the context cancels the run mid-batch, and the
+// variadic options select ticks, seed, and parallelism.
+func RunExperiment(ctx context.Context, name string, opts ...Option) ([]*report.Table, error) {
 	e, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return e.run(opts)
+	return e.run(ctx, BuildOptions(opts...))
+}
+
+// RunExperimentOpts executes a registered experiment with a positional
+// Options struct and no cancellation.
+//
+// Deprecated: use RunExperiment with a context and functional options.
+func RunExperimentOpts(name string, opts Options) ([]*report.Table, error) {
+	return RunExperiment(context.Background(), name, WithOptions(opts))
 }
 
 // baselineCache memoizes no-management baselines across experiments in one
 // process (the baseline depends only on model/mix/ticks/seed, not budgets —
-// but budgets are part of the key for simplicity and safety).
-var baselineCache sync.Map
+// but budgets are part of the key for simplicity and safety). The
+// singleflight semantics matter under the parallel runner: concurrent jobs
+// that share a scenario block on one baseline simulation instead of each
+// running their own.
+var baselineCache runner.Cache[baselineKey, float64]
 
 type baselineKey struct {
 	model string
@@ -94,16 +141,10 @@ type baselineKey struct {
 }
 
 // cachedBaseline computes (or reuses) the scenario's baseline average power.
-func cachedBaseline(sc Scenario) (float64, error) {
+func cachedBaseline(ctx context.Context, sc Scenario) (float64, error) {
 	sc = sc.normalized()
 	key := baselineKey{sc.Model, string(sc.Mix), sc.Ticks, sc.Seed}
-	if v, ok := baselineCache.Load(key); ok {
-		return v.(float64), nil
-	}
-	v, err := BaselinePower(sc)
-	if err != nil {
-		return 0, err
-	}
-	baselineCache.Store(key, v)
-	return v, nil
+	return baselineCache.Get(key, func() (float64, error) {
+		return BaselinePower(ctx, sc)
+	})
 }

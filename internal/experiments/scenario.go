@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/cluster"
@@ -198,24 +199,24 @@ func (sc Scenario) clusterFromSet(set *trace.Set) (*cluster.Cluster, error) {
 
 // Run executes one (scenario, spec) pair against the scenario's baseline and
 // returns the finalized metrics.
-func Run(sc Scenario, spec core.Spec) (metrics.Result, error) {
+func Run(ctx context.Context, sc Scenario, spec core.Spec) (metrics.Result, error) {
 	sc = sc.normalized()
-	baseline, err := sim.Baseline(sc.BuildCluster, sc.Ticks)
+	baseline, err := sim.BaselineContext(ctx, sc.BuildCluster, sc.Ticks)
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	return RunVsBaseline(sc, spec, baseline)
+	return RunVsBaseline(ctx, sc, spec, baseline)
 }
 
 // RunVsBaseline executes one (scenario, spec) pair against a pre-computed
 // baseline average power, letting callers share the baseline across specs.
-func RunVsBaseline(sc Scenario, spec core.Spec, baselineAvgPower float64) (metrics.Result, error) {
-	return RunRecorded(sc, spec, baselineAvgPower, nil)
+func RunVsBaseline(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPower float64) (metrics.Result, error) {
+	return RunRecorded(ctx, sc, spec, baselineAvgPower, nil)
 }
 
 // RunRecorded is RunVsBaseline with an optional per-tick time-series
 // recorder attached to the engine.
-func RunRecorded(sc Scenario, spec core.Spec, baselineAvgPower float64, series *metrics.Series) (metrics.Result, error) {
+func RunRecorded(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPower float64, series *metrics.Series) (metrics.Result, error) {
 	sc = sc.normalized()
 	cl, err := sc.BuildCluster()
 	if err != nil {
@@ -231,7 +232,7 @@ func RunRecorded(sc Scenario, spec core.Spec, baselineAvgPower float64, series *
 	if series != nil {
 		eng.OnTick = series.Observe
 	}
-	col, err := eng.Run(sc.Ticks)
+	col, err := eng.RunContext(ctx, sc.Ticks)
 	if err != nil {
 		return metrics.Result{}, err
 	}
@@ -243,7 +244,7 @@ func RunRecorded(sc Scenario, spec core.Spec, baselineAvgPower float64, series *
 }
 
 // BaselinePower computes the scenario's no-management average power.
-func BaselinePower(sc Scenario) (float64, error) {
+func BaselinePower(ctx context.Context, sc Scenario) (float64, error) {
 	sc = sc.normalized()
-	return sim.Baseline(sc.BuildCluster, sc.Ticks)
+	return sim.BaselineContext(ctx, sc.BuildCluster, sc.Ticks)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"nopower/internal/control"
@@ -20,6 +21,7 @@ type StabilityRow struct {
 // numerically: gains inside the bound converge with zero tracking error,
 // gains beyond it oscillate or diverge.
 func StabilityData(opts Options) ([]StabilityRow, error) {
+	// The analytic plants converge in microseconds; no fan-out needed.
 	var rows []StabilityRow
 	ratios := []float64{0.25, 0.5, 0.9, 1.5, 2.5}
 
@@ -69,7 +71,7 @@ func StabilityData(opts Options) ([]StabilityRow, error) {
 }
 
 // Stability renders the Appendix-A numerical stability sweeps.
-func Stability(opts Options) ([]*report.Table, error) {
+func Stability(_ context.Context, opts Options) ([]*report.Table, error) {
 	rows, err := StabilityData(opts)
 	if err != nil {
 		return nil, err

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/report"
+	"nopower/internal/runner"
 	"nopower/internal/tracegen"
 )
 
@@ -22,14 +24,10 @@ type TimeConstRow struct {
 // base), GM 50/100/200/400, VMC 100/200/300/400/500. The paper's finding:
 // results are relatively invariant for EC/SM/GM, while more frequent VMC
 // operation reduces savings via more aggressive feedback.
-func TimeConstantsData(opts Options) ([]TimeConstRow, error) {
+func TimeConstantsData(ctx context.Context, opts Options) ([]TimeConstRow, error) {
 	opts = opts.normalized()
 	sc := Scenario{Model: "BladeA", Mix: tracegen.Mix180, Budgets: Base201510(),
 		Ticks: opts.Ticks, Seed: opts.Seed}
-	baseline, err := cachedBaseline(sc)
-	if err != nil {
-		return nil, err
-	}
 	sweeps := []struct {
 		name    string
 		periods []int
@@ -40,26 +38,37 @@ func TimeConstantsData(opts Options) ([]TimeConstRow, error) {
 		{"GM", []int{50, 100, 200, 400}, func(p *core.Periods, v int) { p.GM = v }},
 		{"VMC", []int{100, 200, 300, 400, 500}, func(p *core.Periods, v int) { p.VMC = v }},
 	}
-	var rows []TimeConstRow
+	type job struct {
+		controller string
+		period     int
+		spec       core.Spec
+	}
+	var jobs []job
 	for _, sweep := range sweeps {
 		for _, period := range sweep.periods {
 			spec := core.Coordinated()
 			p := core.DefaultPeriods()
 			sweep.apply(&p, period)
 			spec.Periods = p
-			res, err := RunVsBaseline(sc, spec, baseline)
-			if err != nil {
-				return nil, fmt.Errorf("timeconst %s=%d: %w", sweep.name, period, err)
-			}
-			rows = append(rows, TimeConstRow{Controller: sweep.name, Period: period, Result: res})
+			jobs = append(jobs, job{controller: sweep.name, period: period, spec: spec})
 		}
 	}
-	return rows, nil
+	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (TimeConstRow, error) {
+		baseline, err := cachedBaseline(ctx, sc)
+		if err != nil {
+			return TimeConstRow{}, err
+		}
+		res, err := RunVsBaseline(ctx, sc, j.spec, baseline)
+		if err != nil {
+			return TimeConstRow{}, fmt.Errorf("timeconst %s=%d: %w", j.controller, j.period, err)
+		}
+		return TimeConstRow{Controller: j.controller, Period: j.period, Result: res}, nil
+	})
 }
 
 // TimeConstants renders the §5.4 time-constant study.
-func TimeConstants(opts Options) ([]*report.Table, error) {
-	rows, err := TimeConstantsData(opts)
+func TimeConstants(ctx context.Context, opts Options) ([]*report.Table, error) {
+	rows, err := TimeConstantsData(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

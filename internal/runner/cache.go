@@ -1,0 +1,58 @@
+package runner
+
+import "sync"
+
+// Cache is a thread-safe memoization table with singleflight semantics:
+// concurrent Get calls for the same key block on one computation instead
+// of duplicating it. The experiments use it to share no-management
+// baseline runs — the most expensive common sub-computation of a sweep —
+// across parallel jobs. Errors are not cached; a failed computation is
+// retried by the next caller.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	done  chan struct{}
+	value V
+	err   error
+}
+
+// Get returns the cached value for key, computing it with compute on a
+// miss. Exactly one caller runs compute per in-flight key; the rest wait
+// for its result.
+func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = make(map[K]*cacheEntry[V])
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.value, e.err
+	}
+	e := &cacheEntry[V]{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.value, e.err = compute()
+	close(e.done)
+	if e.err != nil {
+		// Drop failed entries so transient errors (e.g. cancellation)
+		// don't poison the cache for later runs.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.value, e.err
+}
+
+// Len reports the number of successfully cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,104 @@
+// Package runner is the parallel experiment scheduler: a bounded worker
+// pool that executes batches of independent simulation jobs (scenario ×
+// spec × seed) concurrently while keeping every observable output
+// deterministic. Results are keyed by job index — never by completion
+// order — so a batch run at -parallel=8 produces byte-identical tables to
+// the same batch at -parallel=1. The package also provides the
+// singleflight Cache the experiments use to share baseline computations
+// across concurrent jobs without duplicate work.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// jobCount counts jobs executed process-wide; CLIs report it as telemetry.
+var jobCount atomic.Int64
+
+// JobCount reports the total number of jobs executed by all pools in this
+// process so far.
+func JobCount() int64 { return jobCount.Load() }
+
+// Parallelism resolves a requested worker count: values < 1 select
+// GOMAXPROCS (the "as fast as the hardware allows" default).
+func Parallelism(requested int) int {
+	if requested < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on at most
+// Parallelism(parallelism) workers. It blocks until every started job has
+// returned. Job errors are aggregated in index order (not completion
+// order) via errors.Join, so error output is deterministic too. Once the
+// context is cancelled no new jobs start and ctx.Err() is included in the
+// returned error.
+func ForEach(ctx context.Context, parallelism, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := Parallelism(parallelism)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, exact legacy scheduling.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				break
+			}
+			jobCount.Add(1)
+			errs[i] = fn(ctx, i)
+		}
+		return errors.Join(errs...)
+	}
+
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					return
+				}
+				jobCount.Add(1)
+				errs[i] = fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Map runs fn over every item concurrently (bounded by parallelism) and
+// returns the results in input order regardless of completion order. On
+// error the partial results are still returned alongside the aggregated
+// error, letting callers decide whether partial output is usable.
+func Map[T, R any](ctx context.Context, parallelism int, items []T, fn func(ctx context.Context, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := ForEach(ctx, parallelism, len(items), func(ctx context.Context, i int) error {
+		r, err := fn(ctx, items[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	return out, err
+}

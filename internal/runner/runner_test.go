@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelismResolution(t *testing.T) {
+	if Parallelism(0) < 1 || Parallelism(-3) < 1 {
+		t.Error("non-positive requests must resolve to >= 1")
+	}
+	if Parallelism(7) != 7 {
+		t.Error("explicit requests must pass through")
+	}
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	for _, parallelism := range []int{1, 2, 8, 64} {
+		out, err := Map(context.Background(), parallelism, items, func(_ context.Context, v int) (int, error) {
+			if v%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return v * v, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallelism %d: out[%d] = %d, want %d", parallelism, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), 3, 40, func(context.Context, int) error {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent jobs, want <= 3", p)
+	}
+}
+
+func TestForEachAggregatesErrorsInIndexOrder(t *testing.T) {
+	boom3 := errors.New("job 3 failed")
+	boom7 := errors.New("job 7 failed")
+	err := ForEach(context.Background(), 4, 10, func(_ context.Context, i int) error {
+		switch i {
+		case 3:
+			return boom3
+		case 7:
+			time.Sleep(2 * time.Millisecond) // finish after job 3 despite lower latency slots
+			return boom7
+		}
+		return nil
+	})
+	if !errors.Is(err, boom3) || !errors.Is(err, boom7) {
+		t.Fatalf("aggregated error lost a member: %v", err)
+	}
+	want := boom3.Error() + "\n" + boom7.Error()
+	if err.Error() != want {
+		t.Errorf("error order not by index:\n%q\nwant\n%q", err.Error(), want)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := ForEach(ctx, 2, 1000, func(ctx context.Context, i int) error {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n > 10 {
+		t.Errorf("%d jobs started after cancellation", n)
+	}
+
+	// A pre-cancelled context runs nothing, serial path included.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	ran := false
+	if err := ForEach(pre, 1, 5, func(context.Context, int) error { ran = true; return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("serial pre-cancelled err = %v", err)
+	}
+	if ran {
+		t.Error("job ran under a pre-cancelled context")
+	}
+}
+
+func TestForEachEmptyAndCounts(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := JobCount()
+	if err := ForEach(context.Background(), 4, 9, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d := JobCount() - before; d != 9 {
+		t.Errorf("telemetry counted %d jobs, want 9", d)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.Get("k", func() (int, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	// Give every goroutine a chance to either claim or park on the entry.
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	var c Cache[int, string]
+	calls := 0
+	_, err := c.Get(1, func() (string, error) { calls++; return "", fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	v, err := c.Get(1, func() (string, error) { calls++; return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("retry after error: %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute calls = %d, want 2 (error must not be cached)", calls)
+	}
+	if v, _ := c.Get(1, func() (string, error) { calls++; return "no", nil }); v != "ok" || calls != 2 {
+		t.Error("successful value was not cached")
+	}
+}

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"nopower/internal/cluster"
@@ -47,16 +48,51 @@ func New(cl *cluster.Cluster, controllers ...Controller) *Engine {
 	return &Engine{Cluster: cl, Controllers: controllers, Collector: &metrics.Collector{}}
 }
 
+// InvariantError reports a cluster-invariant violation caught by Paranoid
+// mode, carrying the tick and the last controller that acted so callers can
+// branch on the structured fields instead of parsing a formatted string.
+type InvariantError struct {
+	// Tick is the simulation tick the violation was detected at.
+	Tick int
+	// Controller names the last controller that ran before the check
+	// ("plant" when the stack is empty).
+	Controller string
+	// Err is the underlying cluster invariant failure.
+	Err error
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("sim: tick %d after %s: %v", e.Tick, e.Controller, e.Err)
+}
+
+func (e *InvariantError) Unwrap() error { return e.Err }
+
 // Run advances the simulation for the given number of ticks and returns the
-// collector for finalization.
+// collector for finalization. It is RunContext without cancellation.
 func (e *Engine) Run(ticks int) (*metrics.Collector, error) {
+	return e.RunContext(context.Background(), ticks)
+}
+
+// RunContext is Run with cooperative cancellation: it checks the context
+// between ticks and stops with the context's error as soon as it is
+// cancelled or its deadline passes. Invariant violations in Paranoid mode
+// surface as a *InvariantError.
+func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector, error) {
 	if ticks <= 0 {
 		return nil, fmt.Errorf("sim: ticks %d", ticks)
 	}
 	if e.Collector == nil {
 		e.Collector = &metrics.Collector{}
 	}
+	done := ctx.Done()
 	for i := 0; i < ticks; i++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: stopped at tick %d: %w", e.tick, ctx.Err())
+			default:
+			}
+		}
 		k := e.tick
 		for _, c := range e.Controllers {
 			c.Tick(k, e.Cluster)
@@ -68,7 +104,7 @@ func (e *Engine) Run(ticks int) (*metrics.Collector, error) {
 		}
 		if e.Paranoid {
 			if err := e.Cluster.CheckInvariants(); err != nil {
-				return nil, fmt.Errorf("sim: tick %d after %s: %w", k, lastName(e.Controllers), err)
+				return nil, &InvariantError{Tick: k, Controller: lastName(e.Controllers), Err: err}
 			}
 		}
 		e.tick++
@@ -91,12 +127,17 @@ func lastName(cs []Controller) string {
 // — the paper's §5.1 baseline "where no controllers for power management are
 // turned on".
 func Baseline(build func() (*cluster.Cluster, error), ticks int) (float64, error) {
+	return BaselineContext(context.Background(), build, ticks)
+}
+
+// BaselineContext is Baseline with cooperative cancellation.
+func BaselineContext(ctx context.Context, build func() (*cluster.Cluster, error), ticks int) (float64, error) {
 	cl, err := build()
 	if err != nil {
 		return 0, err
 	}
 	eng := New(cl)
-	col, err := eng.Run(ticks)
+	col, err := eng.RunContext(ctx, ticks)
 	if err != nil {
 		return 0, err
 	}

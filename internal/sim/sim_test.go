@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -85,8 +86,52 @@ func TestParanoidCatchesCorruption(t *testing.T) {
 	cl := testutil.StandaloneCluster(t, 3, 10, 0.2)
 	eng := New(cl, corruptor{})
 	eng.Paranoid = true
-	if _, err := eng.Run(5); err == nil {
-		t.Error("paranoid mode missed placement corruption")
+	_, err := eng.Run(5)
+	if err == nil {
+		t.Fatal("paranoid mode missed placement corruption")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err %T is not *InvariantError", err)
+	}
+	if ie.Tick != 2 || ie.Controller != "corruptor" {
+		t.Errorf("InvariantError fields = tick %d, controller %q", ie.Tick, ie.Controller)
+	}
+	if ie.Unwrap() == nil {
+		t.Error("InvariantError must wrap the cluster failure")
+	}
+}
+
+// stopper cancels the shared context at a chosen tick.
+type stopper struct {
+	cancel context.CancelFunc
+	at     int
+}
+
+func (s *stopper) Name() string { return "stopper" }
+func (s *stopper) Tick(k int, cl *cluster.Cluster) {
+	if k == s.at {
+		s.cancel()
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.2)
+	ctx, cancel := context.WithCancel(context.Background())
+	eng := New(cl, &stopper{cancel: cancel, at: 3})
+	_, err := eng.RunContext(ctx, 100)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The cancelling tick completes; the next one never starts.
+	if eng.Tick() != 4 {
+		t.Errorf("stopped after %d ticks, want 4", eng.Tick())
+	}
+
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := New(testutil.StandaloneCluster(t, 1, 10, 0.2)).RunContext(pre, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled err = %v", err)
 	}
 }
 

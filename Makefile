@@ -2,7 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check fmt vet
+# The observability package carries the tracing/metrics contracts every
+# controller depends on; its statement coverage is gated.
+COVER_PKG    = ./internal/obs
+COVER_MIN    = 80.0
+COVER_OUT    = coverage.out
+
+.PHONY: all build test race bench check fmt vet cover
 
 all: check
 
@@ -14,9 +20,9 @@ test:
 
 # race is the gate for the parallel experiment runner: every experiment
 # test forces the concurrent worker-pool path, so this catches data races
-# in shared caches, models, and the metrics pipeline.
-race:
-	$(GO) vet ./...
+# in shared caches, models, and the metrics pipeline. vet and the obs
+# coverage floor ride along so one target stays the pre-merge gate.
+race: vet cover
 	$(GO) test -race ./...
 
 bench:
@@ -27,5 +33,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# cover enforces a minimum statement coverage on internal/obs — the one
+# package whose regressions (a silent tracer, a stuck counter) tests
+# elsewhere would not notice.
+cover:
+	$(GO) test -coverprofile=$(COVER_OUT) $(COVER_PKG)
+	@total=$$($(GO) tool cover -func=$(COVER_OUT) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/obs coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+	{ echo "coverage $$total% below $(COVER_MIN)% floor"; exit 1; }
 
 check: build race

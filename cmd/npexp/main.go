@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"nopower/internal/experiments"
+	"nopower/internal/obs"
 	"nopower/internal/report"
 	"nopower/internal/runner"
 )
@@ -44,11 +45,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 0, "cancel the batch after this duration (0 = none)")
 		markdown = fs.Bool("markdown", false, "render Markdown tables")
 		jsonOut  = fs.Bool("json", false, "emit one JSON document with every table")
-		quiet    = fs.Bool("q", false, "suppress progress output")
+		quiet    = fs.Bool("q", false, "suppress progress output (errors still print)")
+		verbose  = fs.Int("v", 0, "log verbosity: 0 = progress, 1+ = per-experiment runner detail")
+		httpAddr = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the batch's duration (e.g. :8080)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	verbosity := *verbose
+	if *quiet {
+		verbosity = -1
+	}
+	logger := obs.NewLogger(stderr, verbosity)
 	if fs.NArg() < 1 {
 		usage(stderr)
 		return 2
@@ -75,6 +83,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	if *httpAddr != "" {
+		runner.RegisterMetrics(obs.Default)
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			logger.Error("http endpoint failed", "err", err)
+			return 1
+		}
+		defer srv.Close()
+		logger.Info("observability endpoint up",
+			"addr", srv.Addr.String(), "paths", "/metrics /healthz /debug/pprof/")
+	}
 
 	opts := []experiments.Option{
 		experiments.WithTicks(*ticks),
@@ -94,15 +113,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tables, err := experiments.RunExperiment(ctx, name, opts...)
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
-				fmt.Fprintf(stderr, "npexp %s: timed out after %s\n", name, *timeout)
+				logger.Error("experiment timed out", "experiment", name, "timeout", *timeout)
 			} else {
-				fmt.Fprintf(stderr, "npexp %s: %v\n", name, err)
+				logger.Error("experiment failed", "experiment", name, "err", err)
 			}
 			return 1
 		}
-		if !*quiet {
-			fmt.Fprintf(stderr, "[%s: %.1fs, %d jobs, parallel=%d]\n",
-				name, time.Since(start).Seconds(), runner.JobCount()-jobs, runner.Parallelism(*parallel))
+		logger.Info("experiment done",
+			"experiment", name,
+			"secs", fmt.Sprintf("%.1f", time.Since(start).Seconds()),
+			"jobs", runner.JobCount()-jobs,
+			"parallel", runner.Parallelism(*parallel))
+		if verbosity >= 1 {
+			stats := runner.Stats()
+			logger.Debug("runner pool",
+				"jobs_started", stats.JobsStarted, "jobs_done", stats.JobsDone,
+				"cache_hits", stats.CacheHits, "cache_misses", stats.CacheMisses)
 		}
 		if *jsonOut {
 			all = append(all, namedTables{Experiment: name, Tables: tables})
@@ -116,15 +142,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	if !*quiet && len(names) > 1 {
-		fmt.Fprintf(stderr, "[total: %.1fs wall, %d jobs]\n",
-			time.Since(batchStart).Seconds(), runner.JobCount()-batchJobs)
+	if len(names) > 1 {
+		logger.Info("batch done",
+			"wall_secs", fmt.Sprintf("%.1f", time.Since(batchStart).Seconds()),
+			"jobs", runner.JobCount()-batchJobs)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(all); err != nil {
-			fmt.Fprintln(stderr, "npexp:", err)
+			logger.Error("json encode failed", "err", err)
 			return 1
 		}
 	}

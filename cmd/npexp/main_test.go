@@ -90,3 +90,28 @@ func TestFailoverThroughCLI(t *testing.T) {
 		t.Error("failover table missing rows")
 	}
 }
+
+// TestSlogVerbosityLevels pins the structured-logging contract: default runs
+// log progress as slog INFO lines, -v 1 adds runner-pool DEBUG detail, and
+// -q (covered by TestStabilityText) silences both.
+func TestSlogVerbosityLevels(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"stability"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), `level=INFO msg="experiment done" experiment=stability`) {
+		t.Errorf("progress not logged via slog:\n%s", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "level=DEBUG") {
+		t.Errorf("debug detail leaked at default verbosity:\n%s", errOut.String())
+	}
+
+	errOut.Reset()
+	out.Reset()
+	if code := run([]string{"-v", "1", "stability"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), `level=DEBUG msg="runner pool"`) {
+		t.Errorf("-v 1 missing runner-pool debug line:\n%s", errOut.String())
+	}
+}

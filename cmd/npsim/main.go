@@ -22,6 +22,8 @@ import (
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
+	"nopower/internal/obs"
+	"nopower/internal/runner"
 	"nopower/internal/trace"
 	"nopower/internal/tracegen"
 )
@@ -52,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceFile = fs.String("traces", "", "load workloads from a CSV (nptrace format) instead of generating -mix")
 		timeout   = fs.Duration("timeout", 0, "cancel the simulation after this duration (0 = none)")
 		verbose   = fs.Bool("v", false, "print scenario details")
+		httpAddr  = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration (e.g. :8080)")
+		traceOut  = fs.String("trace", "", "write controller actuation events as NDJSON to this path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,27 +99,54 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	logger := obs.NewLogger(stderr, 0)
+
+	var o experiments.Observers
+	if *httpAddr != "" {
+		runner.RegisterMetrics(obs.Default)
+		srv, err := obs.Serve(*httpAddr, obs.Default)
+		if err != nil {
+			fmt.Fprintln(stderr, "http:", err)
+			return 1
+		}
+		defer srv.Close()
+		o.Metrics = obs.Default
+		logger.Info("observability endpoint up",
+			"addr", srv.Addr.String(), "paths", "/metrics /healthz /debug/pprof/")
+	}
+	conflicts := obs.NewConflictDetector()
+	var ndjson *obs.NDJSONWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "trace:", err)
+			return 1
+		}
+		defer f.Close()
+		ndjson = obs.NewNDJSONWriter(f)
+		o.Tracer = obs.Multi(ndjson, conflicts)
+	}
+
 	baseline, err := experiments.BaselinePower(ctx, sc)
 	if err != nil {
 		fmt.Fprintln(stderr, "baseline:", err)
 		return 1
 	}
-	var recorder *metrics.Series
 	if *series != "" {
-		recorder = &metrics.Series{Stride: *stride}
+		o.Series = &metrics.Series{Stride: *stride}
 	}
-	res, err := experiments.RunRecorded(ctx, sc, spec, baseline, recorder)
+	res, err := experiments.RunObserved(ctx, sc, spec, baseline, o)
 	if err != nil {
 		fmt.Fprintln(stderr, "run:", err)
 		return 1
 	}
-	if recorder != nil {
+	if o.Series != nil {
 		f, err := os.Create(*series)
 		if err != nil {
 			fmt.Fprintln(stderr, "series:", err)
 			return 1
 		}
-		if err := recorder.WriteCSV(f); err != nil {
+		if err := o.Series.WriteCSV(f); err != nil {
 			f.Close()
 			fmt.Fprintln(stderr, "series:", err)
 			return 1
@@ -124,7 +155,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "series:", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "wrote %d samples to %s\n", recorder.Len(), *series)
+		logger.Info("series written", "samples", o.Series.Len(), "path", *series)
+	}
+	if ndjson != nil {
+		if err := ndjson.Err(); err != nil {
+			fmt.Fprintln(stderr, "trace:", err)
+			return 1
+		}
+		logger.Info("actuation trace written",
+			"events", ndjson.Count(), "conflicts", conflicts.Count(), "path", *traceOut)
 	}
 
 	if *verbose {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -86,5 +87,41 @@ func writeTinyTraces(t *testing.T, path string) {
 	}
 	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTraceAndHTTPFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mix", "60L", "-ticks", "300", "-stack", "uncoordinated",
+		"-trace", path, "-http", "127.0.0.1:0"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 100 {
+		t.Errorf("only %d trace events", len(lines))
+	}
+	var ev struct {
+		Tick       int     `json:"tick"`
+		Controller string  `json:"controller"`
+		Actuator   string  `json:"actuator"`
+		New        float64 `json:"new"`
+		Reason     string  `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("first event is not JSON: %v\n%s", err, lines[0])
+	}
+	if ev.Controller == "" || ev.Actuator == "" || ev.Reason == "" {
+		t.Errorf("event missing fields: %+v", ev)
+	}
+	for _, frag := range []string{"observability endpoint up", "actuation trace written", "conflicts="} {
+		if !strings.Contains(errOut.String(), frag) {
+			t.Errorf("stderr missing %q:\n%s", frag, errOut.String())
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"nopower/internal/cluster"
 	"nopower/internal/control"
+	"nopower/internal/obs"
 )
 
 // DefaultLambda is the paper's base EC gain (Fig. 5: λ = 0.8, below the
@@ -43,6 +44,7 @@ type Controller struct {
 	wasOn  []bool
 	rRef0  float64
 	nSteps int
+	tracer obs.Tracer
 }
 
 // New builds an EC over every server of the cluster.
@@ -65,6 +67,9 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "EC" }
+
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // SetRRef overloads server i's utilization target — the SM's coordination
 // channel (Fig. 4: "Expose API to SM to change r_ref").
@@ -95,8 +100,16 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		}
 		// Sensors from the previous interval: r and f_C in relative units.
 		loop.StepEC(s.Util, s.RealUtil)
+		old := s.PState
 		s.PState = s.Model.Quantize(loop.F * s.Model.MaxFreq())
 		c.nSteps++
+		if c.tracer != nil {
+			// Every assignment is traced, not just changes: a same-value
+			// rewrite is still a claim on the shared knob, which is exactly
+			// what the conflict detector needs to see.
+			c.tracer.Emit(obs.Event{Tick: k, Controller: "EC", Actuator: obs.ActPState,
+				Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "utilization-loop"})
+		}
 	}
 }
 

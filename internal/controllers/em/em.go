@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"nopower/internal/cluster"
+	"nopower/internal/obs"
 	"nopower/internal/policy"
 )
 
@@ -44,6 +45,7 @@ type Controller struct {
 
 	violations int
 	epochs     int
+	tracer     obs.Tracer
 }
 
 // New builds an enclosure manager.
@@ -59,6 +61,9 @@ func New(mode Mode, pol policy.Division, period int) (*Controller, error) {
 
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "EM" }
+
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // Tick re-provisions per-blade budgets for every enclosure that is due.
 func (c *Controller) Tick(k int, cl *cluster.Cluster) {
@@ -82,6 +87,8 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		shares := c.Policy.Divide(capEnc, children)
 		for i, sid := range e.Servers {
 			s := cl.Servers[sid]
+			old := s.DynCap
+			reason := "min-rule-share"
 			switch c.Mode {
 			case Coordinated:
 				rec := shares[i]
@@ -91,6 +98,11 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 				s.DynCap = rec
 			case Uncoordinated:
 				s.DynCap = shares[i] // raw overwrite, no min
+				reason = "raw-share"
+			}
+			if c.tracer != nil {
+				c.tracer.Emit(obs.Event{Tick: k, Controller: "EM", Actuator: obs.ActServerCap,
+					Target: sid, Old: old, New: s.DynCap, Reason: reason})
 			}
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"nopower/internal/cluster"
+	"nopower/internal/obs"
 	"nopower/internal/policy"
 )
 
@@ -40,6 +41,7 @@ type Controller struct {
 
 	violations int
 	epochs     int
+	tracer     obs.Tracer
 }
 
 // New builds a group manager.
@@ -55,6 +57,9 @@ func New(mode Mode, pol policy.Division, period int) (*Controller, error) {
 
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "GM" }
+
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // Tick re-provisions enclosure and standalone-server budgets when due.
 // Children are ordered enclosures-first, then standalone servers; a policy
@@ -89,7 +94,12 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 
 	shares := c.Policy.Divide(cl.StaticCapGrp, children)
 
+	reason := "min-rule-share"
+	if c.Mode == Uncoordinated {
+		reason = "raw-share"
+	}
 	for i, e := range cl.Enclosures {
+		old := e.DynCap
 		switch c.Mode {
 		case Coordinated:
 			rec := shares[i]
@@ -100,14 +110,23 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		case Uncoordinated:
 			e.DynCap = shares[i]
 		}
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{Tick: k, Controller: "GM", Actuator: obs.ActEnclosureCap,
+				Target: e.ID, Old: old, New: e.DynCap, Reason: reason})
+		}
 	}
 	for j, sid := range standalone {
 		s := cl.Servers[sid]
+		old := s.DynCap
 		rec := shares[len(cl.Enclosures)+j]
 		if c.Mode == Coordinated && rec > s.StaticCap {
 			rec = s.StaticCap // min(CAP_LOC, recommendation)
 		}
 		s.DynCap = rec
+		if c.tracer != nil {
+			c.tracer.Emit(obs.Event{Tick: k, Controller: "GM", Actuator: obs.ActServerCap,
+				Target: sid, Old: old, New: s.DynCap, Reason: reason})
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nopower/internal/cluster"
+	"nopower/internal/obs"
 )
 
 // ElectricalCapper is the optional CAP block of Fig. 2: an electrical
@@ -18,6 +19,8 @@ import (
 type ElectricalCapper struct {
 	// Budget is the per-server electrical cap in Watts.
 	Budget float64
+
+	tracer obs.Tracer
 }
 
 // NewElectricalCapper validates the budget.
@@ -31,6 +34,9 @@ func NewElectricalCapper(budget float64) (*ElectricalCapper, error) {
 // Name implements the simulator's Controller interface.
 func (e *ElectricalCapper) Name() string { return "CAP" }
 
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (e *ElectricalCapper) SetTracer(t obs.Tracer) { e.tracer = t }
+
 // Tick clamps every powered server whose projected draw exceeds the budget.
 func (e *ElectricalCapper) Tick(k int, cl *cluster.Cluster) {
 	for _, s := range cl.Servers {
@@ -39,6 +45,7 @@ func (e *ElectricalCapper) Tick(k int, cl *cluster.Cluster) {
 		}
 		// Project the draw the currently selected P-state could reach with
 		// the present demand and clamp deeper until it fits.
+		old := s.PState
 		for s.PState < s.Model.NumPStates()-1 {
 			cap := s.Model.Capacity(s.PState)
 			r := 1.0
@@ -49,6 +56,10 @@ func (e *ElectricalCapper) Tick(k int, cl *cluster.Cluster) {
 				break
 			}
 			s.PState++
+		}
+		if e.tracer != nil && s.PState != old {
+			e.tracer.Emit(obs.Event{Tick: k, Controller: "CAP", Actuator: obs.ActPState,
+				Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "electrical-cap"})
 		}
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"nopower/internal/cluster"
 	"nopower/internal/control"
+	"nopower/internal/obs"
 )
 
 // RRefSetter is the EC-side coordination interface: the one API the paper
@@ -55,6 +56,7 @@ type Controller struct {
 	// the telemetry the coordinated design "exposes to the VMC" (Fig. 4).
 	violations int
 	epochs     int
+	tracer     obs.Tracer
 }
 
 // RRefCeil bounds the actuated utilization target. It is deliberately above
@@ -96,6 +98,9 @@ func New(cl *cluster.Cluster, ecIface RRefSetter, mode Mode, beta float64, perio
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "SM" }
 
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
+
 // Tick runs the capping law on every powered server that is due.
 func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	if k%c.Period != 0 {
@@ -118,8 +123,13 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		case Coordinated:
 			loop := c.loops[i]
 			loop.SetReference(cap)
+			oldRef := loop.RRef
 			rRef := loop.Step(s.Power)
 			c.ec.SetRRef(i, rRef)
+			if c.tracer != nil {
+				c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActRRef,
+					Target: i, Old: oldRef, New: rRef, Reason: "power-cap"})
+			}
 		case Uncoordinated:
 			// Commercial-style hardware capper: clamp to the shallowest
 			// P-state whose projected draw at the present demand meets the
@@ -127,12 +137,21 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 			// the P-state knob with the EC, which overwrites it on the
 			// EC's next tick — the "power struggle": the cap holds for one
 			// tick out of every T_sm, the violation persists the rest.
+			old := s.PState
 			if s.Power > cap {
 				for s.PState < s.Model.NumPStates()-1 && projected(s) > cap {
 					s.PState++
 				}
+				if c.tracer != nil {
+					c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActPState,
+						Target: i, Old: float64(old), New: float64(s.PState), Reason: "cap-clamp"})
+				}
 			} else if s.Power < 0.85*cap && s.PState > 0 {
 				s.PState--
+				if c.tracer != nil {
+					c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActPState,
+						Target: i, Old: float64(old), New: float64(s.PState), Reason: "cap-recover"})
+				}
 			}
 		}
 	}

@@ -26,6 +26,7 @@ import (
 
 	"nopower/internal/binpack"
 	"nopower/internal/cluster"
+	"nopower/internal/obs"
 )
 
 // ViolationSource is the telemetry interface the capping controllers expose
@@ -118,6 +119,7 @@ type Controller struct {
 	migrations int
 	repacks    int
 	unplaced   int
+	tracer     obs.Tracer
 }
 
 // New builds a VMC over the cluster.
@@ -161,6 +163,9 @@ func (c *Controller) PerfBuffer() float64 { return c.bPerf }
 
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "VMC" }
+
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // Buffers reports the current feedback buffers (b_loc, b_enc, b_grp).
 func (c *Controller) Buffers() (bLoc, bEnc, bGrp float64) { return c.bLoc, c.bEnc, c.bGrp }
@@ -370,8 +375,13 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 	for i, vm := range cl.VMs {
 		target := cl.Servers[res.Assignment[i]].ID
 		if target != vm.Server {
+			from := vm.Server
 			if err := cl.Move(vm.ID, target, k); err == nil {
 				c.migrations++
+				if c.tracer != nil {
+					c.tracer.Emit(obs.Event{Tick: k, Controller: "VMC", Actuator: obs.ActPlacement,
+						Target: vm.ID, Old: float64(from), New: float64(target), Reason: "repack"})
+				}
 			}
 		}
 	}
@@ -380,6 +390,10 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 			if s.On && len(s.VMs) == 0 {
 				// PowerOff only fails for non-empty servers, checked above.
 				_ = cl.PowerOff(s.ID)
+				if c.tracer != nil {
+					c.tracer.Emit(obs.Event{Tick: k, Controller: "VMC", Actuator: obs.ActPower,
+						Target: s.ID, Old: 1, New: 0, Reason: "consolidation-off"})
+				}
 			}
 		}
 	}

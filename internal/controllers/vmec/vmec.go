@@ -21,6 +21,7 @@ import (
 
 	"nopower/internal/cluster"
 	"nopower/internal/control"
+	"nopower/internal/obs"
 )
 
 // minAllocation floors a VM's container so an idle VM can still wake up.
@@ -37,6 +38,7 @@ type Controller struct {
 	targets []float64                  // per-server r_ref broadcast by the SM
 	wasOn   []bool                     // per server
 	rRef0   float64
+	tracer  obs.Tracer
 }
 
 // New builds a VM-level EC over every VM of the cluster.
@@ -61,6 +63,9 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "VMEC" }
+
+// SetTracer attaches an observability tracer; nil disables tracing.
+func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 
 // SetRRef records a per-server utilization target; at the next control epoch
 // it is broadcast to every VM loop resident there — the SM's coordination
@@ -126,7 +131,12 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		}
 		// Arbitration: the platform covers the resident allocations.
 		if len(s.VMs) > 0 {
+			old := s.PState
 			s.PState = s.Model.Quantize(s.Model.ClampFreq(sum * s.Model.MaxFreq()))
+			if c.tracer != nil {
+				c.tracer.Emit(obs.Event{Tick: k, Controller: "VMEC", Actuator: obs.ActPState,
+					Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "vm-arbitration"})
+			}
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"nopower/internal/core"
 	"nopower/internal/metrics"
 	"nopower/internal/model"
+	"nopower/internal/obs"
 	"nopower/internal/sim"
 	"nopower/internal/trace"
 	"nopower/internal/tracegen"
@@ -217,6 +218,24 @@ func RunVsBaseline(ctx context.Context, sc Scenario, spec core.Spec, baselineAvg
 // RunRecorded is RunVsBaseline with an optional per-tick time-series
 // recorder attached to the engine.
 func RunRecorded(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPower float64, series *metrics.Series) (metrics.Result, error) {
+	return RunObserved(ctx, sc, spec, baselineAvgPower, Observers{Series: series})
+}
+
+// Observers bundles the optional observability attachments of a run. The
+// zero value attaches nothing (the zero-overhead default).
+type Observers struct {
+	// Series records the per-tick headline time series.
+	Series *metrics.Series
+	// Tracer receives structured actuation events from every controller.
+	Tracer obs.Tracer
+	// Metrics streams live runtime telemetry (controller latencies, budget
+	// violations, group power) into a registry, e.g. for a /metrics endpoint.
+	Metrics *obs.Registry
+}
+
+// RunObserved is RunVsBaseline with observability attachments: a time-series
+// recorder, an actuation tracer, and/or a live metrics registry.
+func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPower float64, o Observers) (metrics.Result, error) {
 	sc = sc.normalized()
 	cl, err := sc.BuildCluster()
 	if err != nil {
@@ -229,9 +248,11 @@ func RunRecorded(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	if series != nil {
-		eng.OnTick = series.Observe
+	if o.Series != nil {
+		eng.OnTick = o.Series.Observe
 	}
+	eng.Tracer = o.Tracer
+	eng.Metrics = o.Metrics
 	col, err := eng.RunContext(ctx, sc.Ticks)
 	if err != nil {
 		return metrics.Result{}, err

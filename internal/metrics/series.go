@@ -13,7 +13,13 @@ import (
 // and offline analysis. Attach via the engine's OnTick hook; Stride > 1
 // subsamples to keep long runs small.
 type Series struct {
-	// Stride keeps every Stride-th tick (0 or 1 = every tick).
+	// Stride subsamples the series: a sample is kept iff k%Stride == 0,
+	// where k is the engine tick. Stride values of 0 and 1 both mean
+	// "every tick" (0 is the useful zero value, 1 the explicit spelling).
+	// Because tick numbering starts at 0 and 0%n == 0 for every n, the
+	// first tick is always recorded regardless of Stride — so a non-empty
+	// run yields a non-empty series, and a run of T ticks at Stride n
+	// records ceil(T/n) samples.
 	Stride int
 
 	Ticks     []int
@@ -22,6 +28,16 @@ type Series struct {
 	ViolSM    []int // count of servers over their static cap this tick
 	PerfLoss  []float64
 	TempProxy []float64 // group power over group budget, Watts (0 if under)
+
+	// Budget headroom per level, in Watts: how far the tightest consumer
+	// sits under its *static* budget this tick (negative = violation).
+	// HeadroomGrp is CAP_GRP minus group draw; HeadroomEnc the minimum of
+	// CAP_ENC minus draw over enclosures; HeadroomLoc the minimum of
+	// CAP_LOC minus draw over powered-on servers. Levels with no member
+	// (no enclosures / all servers off) record 0.
+	HeadroomGrp []float64
+	HeadroomEnc []float64
+	HeadroomLoc []float64
 }
 
 // Observe appends one sample (honoring the stride).
@@ -47,12 +63,30 @@ func (s *Series) Observe(k int, cl *cluster.Cluster) {
 	if over < 0 {
 		over = 0
 	}
+	hEnc, first := 0.0, true
+	for _, e := range cl.Enclosures {
+		if h := e.StaticCap - e.Power; first || h < hEnc {
+			hEnc, first = h, false
+		}
+	}
+	hLoc, firstLoc := 0.0, true
+	for _, sv := range cl.Servers {
+		if !sv.On {
+			continue
+		}
+		if h := sv.StaticCap - sv.Power; firstLoc || h < hLoc {
+			hLoc, firstLoc = h, false
+		}
+	}
 	s.Ticks = append(s.Ticks, k)
 	s.PowerW = append(s.PowerW, cl.GroupPower)
 	s.ServersOn = append(s.ServersOn, cl.OnCount())
 	s.ViolSM = append(s.ViolSM, viol)
 	s.PerfLoss = append(s.PerfLoss, loss)
 	s.TempProxy = append(s.TempProxy, over)
+	s.HeadroomGrp = append(s.HeadroomGrp, cl.StaticCapGrp-cl.GroupPower)
+	s.HeadroomEnc = append(s.HeadroomEnc, hEnc)
+	s.HeadroomLoc = append(s.HeadroomLoc, hLoc)
 }
 
 // Len returns the number of recorded samples.
@@ -61,7 +95,8 @@ func (s *Series) Len() int { return len(s.Ticks) }
 // WriteCSV emits the series with a header row.
 func (s *Series) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"tick", "power_w", "servers_on", "viol_sm", "perf_loss", "group_over_w"}); err != nil {
+	if err := cw.Write([]string{"tick", "power_w", "servers_on", "viol_sm", "perf_loss", "group_over_w",
+		"headroom_grp_w", "headroom_enc_w", "headroom_loc_w"}); err != nil {
 		return err
 	}
 	for i := range s.Ticks {
@@ -72,6 +107,9 @@ func (s *Series) WriteCSV(w io.Writer) error {
 			strconv.Itoa(s.ViolSM[i]),
 			strconv.FormatFloat(s.PerfLoss[i], 'f', 4, 64),
 			strconv.FormatFloat(s.TempProxy[i], 'f', 2, 64),
+			strconv.FormatFloat(s.HeadroomGrp[i], 'f', 2, 64),
+			strconv.FormatFloat(s.HeadroomEnc[i], 'f', 2, 64),
+			strconv.FormatFloat(s.HeadroomLoc[i], 'f', 2, 64),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

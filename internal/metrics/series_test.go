@@ -58,3 +58,77 @@ func TestSeriesStride(t *testing.T) {
 		t.Errorf("Len = %d, want 3 (ticks 0, 10, 20)", s.Len())
 	}
 }
+
+// TestSeriesStrideSemantics pins the documented contract: 0 and 1 both mean
+// every tick, k%Stride==0 selects the kept ticks, and tick 0 is always the
+// first sample for any stride.
+func TestSeriesStrideSemantics(t *testing.T) {
+	run := func(stride, ticks int) *Series {
+		cl := testutil.StandaloneCluster(t, 1, ticks, 0.2)
+		s := &Series{Stride: stride}
+		for k := 0; k < ticks; k++ {
+			cl.Advance(k)
+			s.Observe(k, cl)
+		}
+		return s
+	}
+	if got := run(0, 7).Len(); got != 7 {
+		t.Errorf("Stride 0: %d samples, want 7 (every tick)", got)
+	}
+	if got := run(1, 7).Len(); got != 7 {
+		t.Errorf("Stride 1: %d samples, want 7 (every tick)", got)
+	}
+	// Stride larger than the run still records tick 0: ceil(7/100) = 1.
+	s := run(100, 7)
+	if s.Len() != 1 || s.Ticks[0] != 0 {
+		t.Errorf("Stride 100: ticks %v, want [0]", s.Ticks)
+	}
+	// Non-divisible length: ceil(7/3) = 3 samples at ticks 0, 3, 6.
+	s = run(3, 7)
+	if s.Len() != 3 || s.Ticks[0] != 0 || s.Ticks[1] != 3 || s.Ticks[2] != 6 {
+		t.Errorf("Stride 3: ticks %v, want [0 3 6]", s.Ticks)
+	}
+}
+
+// TestSeriesHeadroomColumns checks the per-level budget-headroom series and
+// their CSV columns. The standalone fixture has no enclosures, so the
+// enclosure headroom records the documented empty-level value of 0.
+func TestSeriesHeadroomColumns(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 10, 1.0) // overloaded: negative headroom
+	var s Series
+	for k := 0; k < 3; k++ {
+		cl.Advance(k)
+		s.Observe(k, cl)
+	}
+	if got, want := s.HeadroomGrp[0], cl.StaticCapGrp-cl.GroupPower; got != want {
+		t.Errorf("HeadroomGrp[0] = %v, want %v", got, want)
+	}
+	if s.HeadroomGrp[0] >= 0 {
+		t.Errorf("HeadroomGrp[0] = %v, want negative (violating fixture)", s.HeadroomGrp[0])
+	}
+	if len(cl.Enclosures) == 0 && s.HeadroomEnc[0] != 0 {
+		t.Errorf("HeadroomEnc[0] = %v, want 0 with no enclosures", s.HeadroomEnc[0])
+	}
+	wantLoc := cl.Servers[0].StaticCap - cl.Servers[0].Power
+	for _, sv := range cl.Servers[1:] {
+		if h := sv.StaticCap - sv.Power; h < wantLoc {
+			wantLoc = h
+		}
+	}
+	if s.HeadroomLoc[0] != wantLoc {
+		t.Errorf("HeadroomLoc[0] = %v, want %v (tightest server)", s.HeadroomLoc[0], wantLoc)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.HasSuffix(header, ",headroom_grp_w,headroom_enc_w,headroom_loc_w") {
+		t.Errorf("header = %q, want headroom columns appended", header)
+	}
+	row := strings.Split(strings.TrimSpace(buf.String()), "\n")[1]
+	if got := len(strings.Split(row, ",")); got != len(strings.Split(header, ",")) {
+		t.Errorf("row has %d fields, header %d", got, len(strings.Split(header, ",")))
+	}
+}

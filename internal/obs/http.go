@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux builds the observability endpoint map:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       liveness probe ("ok")
+//	/debug/pprof/  the standard Go profiling handlers
+//
+// A nil reg serves the Default registry.
+func NewMux(reg *Registry) *http.ServeMux {
+	if reg == nil {
+		reg = Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr net.Addr
+	srv  *http.Server
+}
+
+// Serve listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the
+// endpoint map for reg in a background goroutine. Close the returned
+// Server to stop it.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{Addr: ln.Addr(), srv: srv}, nil
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

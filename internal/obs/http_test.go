@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("np_up_total").Inc()
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "version=0.0.4") {
+		t.Errorf("/metrics content-type %q", ctype)
+	}
+	if !strings.Contains(body, "np_up_total 1") {
+		t.Errorf("/metrics body missing counter:\n%s", body)
+	}
+
+	code, body, _ = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// pprof index and a named profile must both serve.
+	if code, body, _ = get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
+		t.Errorf("goroutine profile = %d", code)
+	}
+}
+
+func TestServeBindsAndCloses(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil) // nil → Default registry
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr.String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Error(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr.String() + "/healthz"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}
+
+func TestNewLoggerLevels(t *testing.T) {
+	var quiet, info, debug strings.Builder
+	obsQuiet := NewLogger(&quiet, -1)
+	obsQuiet.Info("hidden")
+	obsQuiet.Error("shown", "k", "v")
+	if out := quiet.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("quiet logger output %q", out)
+	}
+	NewLogger(&info, 0).Debug("hidden")
+	NewLogger(&info, 0).Info("progress", "jobs", 3)
+	if out := info.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "jobs=3") {
+		t.Errorf("info logger output %q", out)
+	}
+	NewLogger(&debug, 1).Debug("details")
+	if !strings.Contains(debug.String(), "details") {
+		t.Error("debug level suppressed at -v 1")
+	}
+	if strings.Contains(info.String(), "time=") {
+		t.Error("timestamps should be stripped for reproducible logs")
+	}
+}

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the CLIs' structured logger. Verbosity maps to levels:
+// < 0 errors only (quiet), 0 info (default progress telemetry), >= 1 debug.
+// Timestamps are stripped so runs are reproducible byte-for-byte and easy
+// to diff.
+func NewLogger(w io.Writer, verbosity int) *slog.Logger {
+	level := slog.LevelInfo
+	switch {
+	case verbosity < 0:
+		level = slog.LevelError
+	case verbosity >= 1:
+		level = slog.LevelDebug
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{
+		Level: level,
+		ReplaceAttr: func(groups []string, a slog.Attr) slog.Attr {
+			if a.Key == slog.TimeKey && len(groups) == 0 {
+				return slog.Attr{}
+			}
+			return a
+		},
+	}))
+}

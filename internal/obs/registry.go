@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can move in both directions.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments by v (CAS loop; safe under concurrent writers).
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram (Prometheus semantics:
+// bounds are inclusive upper edges, plus an implicit +Inf bucket).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    Gauge
+	count  atomic.Int64
+}
+
+// DefBuckets spans the controller tick latencies we expect: 10 µs – 100 ms.
+var DefBuckets = []float64{
+	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	return &Histogram{bounds: sorted, counts: make([]atomic.Int64, len(sorted)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Registry is a named collection of metrics with Prometheus-text
+// exposition. Metric names may carry a label set in-line, e.g.
+// `np_controller_tick_seconds{controller="EC"}`; series sharing a base name
+// are grouped under one # TYPE line. Get-or-create accessors are
+// goroutine-safe and return the same instance for the same full name, so
+// hot paths should resolve their handles once and reuse them.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // full series name → *Counter | *Gauge | *Histogram | funcMetric
+	order   []string
+}
+
+type funcMetric struct {
+	kind string // "counter" or "gauge"
+	fn   func() float64
+}
+
+// NewRegistry allocates an empty registry.
+func NewRegistry() *Registry { return &Registry{metrics: make(map[string]any)} }
+
+// Default is the process-wide registry the CLIs expose on /metrics.
+var Default = NewRegistry()
+
+func (r *Registry) getOrCreate(name string, build func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := build()
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. If name is registered as a different kind, a detached counter is
+// returned (never nil) so callers stay safe; don't mix kinds per name.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.getOrCreate(name, func() any { return new(Counter) })
+	if c, ok := m.(*Counter); ok {
+		return c
+	}
+	return new(Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.getOrCreate(name, func() any { return new(Gauge) })
+	if g, ok := m.(*Gauge); ok {
+		return g
+	}
+	return new(Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds (DefBuckets when empty) on first use.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	m := r.getOrCreate(name, func() any { return newHistogram(bounds) })
+	if h, ok := m.(*Histogram); ok {
+		return h
+	}
+	return newHistogram(bounds)
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — for telemetry owned elsewhere (e.g. the runner pool's atomics).
+func (r *Registry) CounterFunc(name string, fn func() float64) {
+	r.getOrCreate(name, func() any { return funcMetric{kind: "counter", fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition time.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	r.getOrCreate(name, func() any { return funcMetric{kind: "gauge", fn: fn} })
+}
+
+// baseName strips an in-line label set: `x{a="b"}` → `x`.
+func baseName(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// withLabel merges an extra label into a series name:
+// (`x`, `le`, `0.1`) → `x{le="0.1"}`; (`x{a="b"}`, …) → `x{a="b",le="0.1"}`.
+// suffix is appended to the base name first (Prometheus histogram parts).
+func withLabel(series, suffix, key, val string) string {
+	base := baseName(series)
+	labels := strings.TrimPrefix(series, base) // "" or "{...}"
+	extra := key + `="` + val + `"`
+	if labels == "" {
+		return base + suffix + "{" + extra + "}"
+	}
+	return base + suffix + "{" + strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}") + "," + extra + "}"
+}
+
+// suffixed appends a name suffix before the label set:
+// (`x{a="b"}`, `_sum`) → `x_sum{a="b"}`.
+func suffixed(series, suffix string) string {
+	base := baseName(series)
+	return base + suffix + strings.TrimPrefix(series, base)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), sorted by base name then series name
+// so the output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	snapshot := make(map[string]any, len(names))
+	for _, n := range names {
+		snapshot[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
+
+	typed := ""
+	for _, name := range names {
+		base := baseName(name)
+		var kind string
+		var lines []string
+		switch m := snapshot[name].(type) {
+		case *Counter:
+			kind = "counter"
+			lines = []string{fmt.Sprintf("%s %d", name, m.Value())}
+		case *Gauge:
+			kind = "gauge"
+			lines = []string{fmt.Sprintf("%s %s", name, formatFloat(m.Value()))}
+		case funcMetric:
+			kind = m.kind
+			lines = []string{fmt.Sprintf("%s %s", name, formatFloat(m.fn()))}
+		case *Histogram:
+			kind = "histogram"
+			cum := int64(0)
+			for i, bound := range m.bounds {
+				cum += m.counts[i].Load()
+				lines = append(lines, fmt.Sprintf("%s %d",
+					withLabel(name, "_bucket", "le", formatFloat(bound)), cum))
+			}
+			cum += m.counts[len(m.bounds)].Load()
+			lines = append(lines,
+				fmt.Sprintf("%s %d", withLabel(name, "_bucket", "le", "+Inf"), cum),
+				fmt.Sprintf("%s %s", suffixed(name, "_sum"), formatFloat(m.Sum())),
+				fmt.Sprintf("%s %d", suffixed(name, "_count"), m.Count()),
+			)
+		default:
+			continue
+		}
+		if typed != base {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind); err != nil {
+				return err
+			}
+			typed = base
+		}
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(w, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

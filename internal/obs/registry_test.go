@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("np_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("np_test_total") != c {
+		t.Error("second lookup returned a different counter")
+	}
+	g := r.Gauge("np_test_watts")
+	g.Set(120.5)
+	g.Add(-0.5)
+	if g.Value() != 120 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("np_lat_seconds", 0.001, 0.01, 0.1)
+	for _, v := range []float64{0.0005, 0.001, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 5.05 || got > 5.06 {
+		t.Errorf("sum = %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`np_lat_seconds_bucket{le="0.001"} 2`, // 0.0005 and the inclusive 0.001
+		`np_lat_seconds_bucket{le="0.01"} 3`,
+		`np_lat_seconds_bucket{le="0.1"} 4`,
+		`np_lat_seconds_bucket{le="+Inf"} 5`,
+		`np_lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledSeriesShareOneTypeLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`np_ticks_total{controller="EC"}`).Add(10)
+	r.Counter(`np_ticks_total{controller="SM"}`).Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if n := strings.Count(out, "# TYPE np_ticks_total counter"); n != 1 {
+		t.Errorf("%d TYPE lines:\n%s", n, out)
+	}
+	if !strings.Contains(out, `np_ticks_total{controller="EC"} 10`) ||
+		!strings.Contains(out, `np_ticks_total{controller="SM"} 2`) {
+		t.Errorf("labeled series missing:\n%s", out)
+	}
+}
+
+func TestLabeledHistogramMergesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(`np_tick_seconds{controller="EC"}`, 0.01).Observe(0.005)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`np_tick_seconds_bucket{controller="EC",le="0.01"} 1`,
+		`np_tick_seconds_sum{controller="EC"} 0.005`,
+		`np_tick_seconds_count{controller="EC"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.CounterFunc("np_jobs_total", func() float64 { return n })
+	r.GaugeFunc("np_inflight", func() float64 { return 2 })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE np_jobs_total counter\nnp_jobs_total 7") {
+		t.Errorf("counter func missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE np_inflight gauge\nnp_inflight 2") {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+}
+
+// TestPrometheusTextParses checks every non-comment line has the
+// `name{labels} value` shape with a numeric value — the "parseable
+// Prometheus text" acceptance bar without a third-party parser.
+func TestPrometheusTextParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Gauge("b_watts").Set(-3.25)
+	r.Histogram(`c_seconds{x="y"}`).Observe(0.02)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("no value separator in %q", line)
+		}
+		name, val := line[:idx], line[idx+1:]
+		if name == "" || strings.ContainsAny(name, " \t") {
+			t.Errorf("bad series name %q", name)
+		}
+		if val != "+Inf" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				t.Errorf("non-numeric value %q in %q", val, line)
+			}
+		}
+		if open := strings.Count(name, "{"); open != strings.Count(name, "}") || open > 1 {
+			t.Errorf("unbalanced labels in %q", name)
+		}
+	}
+	if lines < 8 {
+		t.Errorf("only %d exposition lines", lines)
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge(fmt.Sprintf("g_%d", i)).Set(float64(j))
+				r.Histogram("h_seconds").Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 800 {
+		t.Errorf("shared counter = %d", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

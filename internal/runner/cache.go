@@ -29,12 +29,14 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
+		cacheHits.Add(1)
 		<-e.done
 		return e.value, e.err
 	}
 	e := &cacheEntry[V]{done: make(chan struct{})}
 	c.entries[key] = e
 	c.mu.Unlock()
+	cacheMisses.Add(1)
 
 	e.value, e.err = compute()
 	close(e.done)

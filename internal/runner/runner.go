@@ -14,14 +14,69 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"nopower/internal/obs"
 )
 
-// jobCount counts jobs executed process-wide; CLIs report it as telemetry.
-var jobCount atomic.Int64
+// Process-wide telemetry, shared by every pool and cache in the process.
+// CLIs report the totals, and RegisterMetrics exposes them live.
+var (
+	jobCount    atomic.Int64 // jobs started
+	jobsDone    atomic.Int64 // jobs returned (success or error)
+	cacheHits   atomic.Int64 // Cache.Get found an entry (settled or in-flight)
+	cacheMisses atomic.Int64 // Cache.Get ran the computation
+)
 
 // JobCount reports the total number of jobs executed by all pools in this
 // process so far.
 func JobCount() int64 { return jobCount.Load() }
+
+// PoolStats is a snapshot of the process-wide runner telemetry.
+type PoolStats struct {
+	// JobsStarted and JobsDone count jobs handed to worker functions and
+	// jobs that have returned; InFlight is their difference at snapshot
+	// time (may be stale by the time the caller reads it).
+	JobsStarted, JobsDone, InFlight int64
+	// CacheHits and CacheMisses count Cache.Get lookups across every Cache
+	// in the process. A hit includes joining an in-flight computation.
+	CacheHits, CacheMisses int64
+}
+
+// Stats snapshots the process-wide pool and cache counters. The fields are
+// read independently, so InFlight is consistent only in quiescence; it is
+// telemetry, not a synchronization primitive.
+func Stats() PoolStats {
+	started, done := jobCount.Load(), jobsDone.Load()
+	inFlight := started - done
+	if inFlight < 0 {
+		inFlight = 0
+	}
+	return PoolStats{
+		JobsStarted: started,
+		JobsDone:    done,
+		InFlight:    inFlight,
+		CacheHits:   cacheHits.Load(),
+		CacheMisses: cacheMisses.Load(),
+	}
+}
+
+// RegisterMetrics exposes the pool counters on an observability registry as
+// live function-backed metrics (nil registry = obs.Default).
+func RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	asFloat := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	reg.CounterFunc("np_runner_jobs_started_total", asFloat(&jobCount))
+	reg.CounterFunc("np_runner_jobs_done_total", asFloat(&jobsDone))
+	reg.GaugeFunc("np_runner_jobs_inflight", func() float64 {
+		return float64(Stats().InFlight)
+	})
+	reg.CounterFunc("np_runner_cache_hits_total", asFloat(&cacheHits))
+	reg.CounterFunc("np_runner_cache_misses_total", asFloat(&cacheMisses))
+}
 
 // Parallelism resolves a requested worker count: values < 1 select
 // GOMAXPROCS (the "as fast as the hardware allows" default).
@@ -56,6 +111,7 @@ func ForEach(ctx context.Context, parallelism, n int, fn func(ctx context.Contex
 			}
 			jobCount.Add(1)
 			errs[i] = fn(ctx, i)
+			jobsDone.Add(1)
 		}
 		return errors.Join(errs...)
 	}
@@ -79,6 +135,7 @@ func ForEach(ctx context.Context, parallelism, n int, fn func(ctx context.Contex
 				}
 				jobCount.Add(1)
 				errs[i] = fn(ctx, i)
+				jobsDone.Add(1)
 			}
 		}()
 	}

@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"nopower/internal/obs"
+)
+
+// TestStatsCountsJobsAndCache exercises the process-wide telemetry snapshot.
+// The counters are shared across the test binary, so every assertion is on
+// deltas against a snapshot taken before the work.
+func TestStatsCountsJobsAndCache(t *testing.T) {
+	before := Stats()
+
+	if err := ForEach(context.Background(), 4, 9, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var c Cache[int, int]
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(7, func() (int, error) { return 1, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	after := Stats()
+	if got := after.JobsStarted - before.JobsStarted; got != 9 {
+		t.Errorf("jobs started delta = %d, want 9", got)
+	}
+	if got := after.JobsDone - before.JobsDone; got != 9 {
+		t.Errorf("jobs done delta = %d, want 9", got)
+	}
+	if after.InFlight != 0 {
+		t.Errorf("in-flight at quiescence = %d, want 0", after.InFlight)
+	}
+	if got := after.CacheMisses - before.CacheMisses; got != 1 {
+		t.Errorf("cache misses delta = %d, want 1", got)
+	}
+	if got := after.CacheHits - before.CacheHits; got != 4 {
+		t.Errorf("cache hits delta = %d, want 4", got)
+	}
+}
+
+// TestRegisterMetrics checks the pool counters surface in a registry's
+// Prometheus exposition as live function-backed series.
+func TestRegisterMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	if err := ForEach(context.Background(), 1, 3, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		"np_runner_jobs_started_total",
+		"np_runner_jobs_done_total",
+		"np_runner_jobs_inflight",
+		"np_runner_cache_hits_total",
+		"np_runner_cache_misses_total",
+	} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("exposition missing %s:\n%s", name, out)
+		}
+	}
+}

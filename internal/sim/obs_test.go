@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/obs"
+	"nopower/internal/testutil"
+)
+
+// knobWriter is a minimal Traceable controller that writes one shared
+// actuator every tick — two of them with different names model a
+// deliberately miswired stack fighting over the same knob.
+type knobWriter struct {
+	name   string
+	value  float64
+	tracer obs.Tracer
+}
+
+func (w *knobWriter) Name() string           { return w.name }
+func (w *knobWriter) SetTracer(t obs.Tracer) { w.tracer = t }
+func (w *knobWriter) Tick(k int, _ *cluster.Cluster) {
+	if w.tracer != nil {
+		w.tracer.Emit(obs.Event{Tick: k, Controller: w.name, Actuator: obs.ActPState,
+			Target: 0, Old: w.value, New: w.value + 1, Reason: "test"})
+	}
+	w.value++
+}
+
+// TestEngineWiresTracerAndOrdersEvents checks the tentpole's ordering
+// contract: every actuation event of tick k is emitted before the engine
+// observes the advanced plant (Collector.Observe, then OnTick) for that
+// tick. OnTick runs after Observe, so seeing all tick-k events — and no
+// later ones — from inside OnTick pins the whole sequence.
+func TestEngineWiresTracerAndOrdersEvents(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 50, 0.2)
+	rec := obs.NewRingRecorder(256)
+	w := &knobWriter{name: "W"}
+	eng := New(cl, w)
+	eng.Tracer = rec
+
+	checked := 0
+	eng.OnTick = func(k int, _ *cluster.Cluster) {
+		events := rec.Events()
+		seen := 0
+		for _, e := range events {
+			if e.Tick > k {
+				t.Fatalf("event for future tick %d visible at OnTick(%d)", e.Tick, k)
+			}
+			if e.Tick == k {
+				seen++
+			}
+		}
+		if seen != 1 {
+			t.Fatalf("OnTick(%d): %d events for the tick, want 1 (emitted before Observe)", k, seen)
+		}
+		checked++
+	}
+	if _, err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if checked != 10 {
+		t.Fatalf("OnTick ran %d times", checked)
+	}
+	if w.tracer == nil {
+		t.Fatal("engine did not inject the tracer into the Traceable controller")
+	}
+}
+
+// TestConflictDetectorOnMiswiredStack registers two controllers that both
+// write server 0's P-state every tick — the distilled uncoordinated wiring
+// — and checks the detector flags exactly one conflict per tick.
+func TestConflictDetectorOnMiswiredStack(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 50, 0.2)
+	det := obs.NewConflictDetector()
+	a, b := &knobWriter{name: "A"}, &knobWriter{name: "B"}
+	eng := New(cl, a, b)
+	eng.Tracer = det
+	if _, err := eng.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if det.Count() != 7 {
+		t.Fatalf("conflicts = %d, want 7 (one per tick)", det.Count())
+	}
+	c := det.Conflicts()[0]
+	if c.First != "A" || c.Second != "B" || c.Actuator != obs.ActPState {
+		t.Errorf("conflict = %+v", c)
+	}
+
+	// A single writer on the same knob is clean.
+	clean := obs.NewConflictDetector()
+	eng2 := New(testutil.StandaloneCluster(t, 1, 50, 0.2), &knobWriter{name: "A"})
+	eng2.Tracer = clean
+	if _, err := eng2.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Count() != 0 {
+		t.Errorf("single-writer conflicts = %d, want 0", clean.Count())
+	}
+}
+
+// TestEngineMetricsStreaming checks the live registry: tick counters,
+// per-controller instrumentation, and the gauges move during the run.
+func TestEngineMetricsStreaming(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 50, 1.0) // overloaded: violations
+	reg := obs.NewRegistry()
+	eng := New(cl, &knobWriter{name: "W"})
+	eng.Metrics = reg
+	if _, err := eng.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("np_sim_ticks_total").Value(); got != 20 {
+		t.Errorf("np_sim_ticks_total = %d", got)
+	}
+	if got := reg.Counter(`np_controller_ticks_total{controller="W"}`).Value(); got != 20 {
+		t.Errorf("controller ticks = %d", got)
+	}
+	if got := reg.Histogram(`np_controller_tick_seconds{controller="W"}`).Count(); got != 20 {
+		t.Errorf("latency observations = %d", got)
+	}
+	if got := reg.Gauge("np_sim_group_power_watts").Value(); got != cl.GroupPower {
+		t.Errorf("group power gauge = %v, cluster %v", got, cl.GroupPower)
+	}
+	if got := reg.Counter(`np_sim_budget_violations_total{level="sm"}`).Value(); got == 0 {
+		t.Error("no SM violations streamed for an overloaded cluster")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "np_sim_ticks_total 20") {
+		t.Errorf("exposition missing tick counter:\n%s", sb.String())
+	}
+}

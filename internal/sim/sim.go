@@ -9,9 +9,11 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"nopower/internal/cluster"
 	"nopower/internal/metrics"
+	"nopower/internal/obs"
 )
 
 // Controller is anything that can act on the cluster at a tick. Individual
@@ -22,6 +24,13 @@ type Controller interface {
 	Name() string
 	// Tick lets the controller observe sensors and drive actuators.
 	Tick(k int, cl *cluster.Cluster)
+}
+
+// Traceable is implemented by controllers that can emit structured
+// actuation events. The engine injects its Tracer into every Traceable
+// controller before the first tick of a run.
+type Traceable interface {
+	SetTracer(obs.Tracer)
 }
 
 // Engine runs one simulation. Run may be called repeatedly; the tick counter
@@ -39,8 +48,91 @@ type Engine struct {
 	// OnTick, if set, is invoked after each plant advance — the hook for
 	// time-series recorders and custom probes.
 	OnTick func(k int, cl *cluster.Cluster)
+	// Tracer, if set before the first Run, receives structured actuation
+	// events from every Traceable controller. Within a tick every event is
+	// emitted before Collector.Observe sees the advanced plant, so a trace
+	// always explains the sample that follows it. Nil disables tracing (the
+	// zero-overhead default).
+	Tracer obs.Tracer
+	// Metrics, if set before the first Run, streams live runtime telemetry
+	// into the registry: per-controller tick latency and counts, group
+	// power, servers-on, and budget-violation counters — the signals the
+	// Collector only reports at Finalize, available mid-run on /metrics.
+	Metrics *obs.Registry
 
-	tick int
+	tick     int
+	obsWired bool
+	ctl      []ctlInstr
+	mTicks   *obs.Counter
+	mPower   *obs.Gauge
+	mOn      *obs.Gauge
+	mViolSM  *obs.Counter
+	mViolEM  *obs.Counter
+	mViolGM  *obs.Counter
+}
+
+// ctlInstr caches one controller's metric handles so the per-tick hot path
+// never touches the registry map.
+type ctlInstr struct {
+	ticks   *obs.Counter
+	seconds *obs.Histogram
+}
+
+// wireObservability injects the tracer into Traceable controllers and
+// resolves the metric handles, once per engine. Called from RunContext so
+// callers can set the fields any time before the first tick.
+func (e *Engine) wireObservability() {
+	if e.obsWired {
+		return
+	}
+	e.obsWired = true
+	if e.Tracer != nil {
+		for _, c := range e.Controllers {
+			if tc, ok := c.(Traceable); ok {
+				tc.SetTracer(e.Tracer)
+			}
+		}
+	}
+	if e.Metrics == nil {
+		return
+	}
+	e.ctl = make([]ctlInstr, len(e.Controllers))
+	for i, c := range e.Controllers {
+		e.ctl[i] = ctlInstr{
+			ticks:   e.Metrics.Counter(fmt.Sprintf("np_controller_ticks_total{controller=%q}", c.Name())),
+			seconds: e.Metrics.Histogram(fmt.Sprintf("np_controller_tick_seconds{controller=%q}", c.Name())),
+		}
+	}
+	e.mTicks = e.Metrics.Counter("np_sim_ticks_total")
+	e.mPower = e.Metrics.Gauge("np_sim_group_power_watts")
+	e.mOn = e.Metrics.Gauge("np_sim_servers_on")
+	e.mViolSM = e.Metrics.Counter(`np_sim_budget_violations_total{level="sm"}`)
+	e.mViolEM = e.Metrics.Counter(`np_sim_budget_violations_total{level="em"}`)
+	e.mViolGM = e.Metrics.Counter(`np_sim_budget_violations_total{level="gm"}`)
+}
+
+// observeMetrics streams the advanced tick into the registry.
+func (e *Engine) observeMetrics(cl *cluster.Cluster) {
+	e.mTicks.Inc()
+	e.mPower.Set(cl.GroupPower)
+	e.mOn.Set(float64(cl.OnCount()))
+	viol := int64(0)
+	for _, s := range cl.Servers {
+		if s.On && s.Power > s.StaticCap {
+			viol++
+		}
+	}
+	e.mViolSM.Add(viol)
+	viol = 0
+	for _, enc := range cl.Enclosures {
+		if enc.Power > enc.StaticCap {
+			viol++
+		}
+	}
+	e.mViolEM.Add(viol)
+	if cl.GroupPower > cl.StaticCapGrp {
+		e.mViolGM.Inc()
+	}
 }
 
 // New builds an engine over a cluster and a controller stack.
@@ -84,6 +176,7 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 	if e.Collector == nil {
 		e.Collector = &metrics.Collector{}
 	}
+	e.wireObservability()
 	done := ctx.Done()
 	for i := 0; i < ticks; i++ {
 		if done != nil {
@@ -94,10 +187,22 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			}
 		}
 		k := e.tick
-		for _, c := range e.Controllers {
-			c.Tick(k, e.Cluster)
+		if e.Metrics != nil {
+			for ci, c := range e.Controllers {
+				start := time.Now()
+				c.Tick(k, e.Cluster)
+				e.ctl[ci].seconds.Observe(time.Since(start).Seconds())
+				e.ctl[ci].ticks.Inc()
+			}
+		} else {
+			for _, c := range e.Controllers {
+				c.Tick(k, e.Cluster)
+			}
 		}
 		e.Cluster.Advance(k)
+		if e.Metrics != nil {
+			e.observeMetrics(e.Cluster)
+		}
 		e.Collector.Observe(e.Cluster)
 		if e.OnTick != nil {
 			e.OnTick(k, e.Cluster)

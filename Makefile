@@ -8,7 +8,7 @@ COVER_PKG    = ./internal/obs
 COVER_MIN    = 80.0
 COVER_OUT    = coverage.out
 
-.PHONY: all build test race bench check fmt vet cover
+.PHONY: all build test race bench check fmt vet cover soak
 
 all: check
 
@@ -27,6 +27,13 @@ race: vet cover
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# soak runs the fault-injection acceptance suite under the race detector:
+# every chaos scenario against both stacks with FaultPolicy = degrade, the
+# panic sandbox, fail-safe fallback, and chaos event library all exercised.
+soak:
+	$(GO) test -race -count=1 ./internal/chaos ./internal/sim
+	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/experiments
 
 fmt:
 	gofmt -l .

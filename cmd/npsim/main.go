@@ -7,6 +7,7 @@
 //
 //	npsim -model BladeA -mix 180 -stack coordinated -ticks 3000
 //	npsim -traces mine.csv -stack vmlevel -series out.csv
+//	npsim -chaos sm-crash -fault-policy degrade
 //
 // Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
 // nobudgets, vmlevel, energydelay, slo, none.
@@ -18,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
 	"nopower/internal/obs"
 	"nopower/internal/runner"
+	"nopower/internal/sim"
 	"nopower/internal/trace"
 	"nopower/internal/tracegen"
 )
@@ -56,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose   = fs.Bool("v", false, "print scenario details")
 		httpAddr  = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration (e.g. :8080)")
 		traceOut  = fs.String("trace", "", "write controller actuation events as NDJSON to this path")
+		chaosCase = fs.String("chaos", "", "inject a chaos scenario: "+strings.Join(experiments.ChaosCaseNames(), ", "))
+		faultPol  = fs.String("fault-policy", "fail", "reaction to a controller panic: fail, degrade, propagate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -64,6 +69,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	spec, err := core.SpecByName(*stack)
 	if err != nil {
 		fmt.Fprintf(stderr, "%v (stacks: %v)\n", err, core.StackNames())
+		return 2
+	}
+	policy, err := sim.FaultPolicyByName(*faultPol)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return 2
 	}
 	spec.Policy = *pol
@@ -127,18 +137,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Tracer = obs.Multi(ndjson, conflicts)
 	}
 
-	baseline, err := experiments.BaselinePower(ctx, sc)
-	if err != nil {
-		fmt.Fprintln(stderr, "baseline:", err)
-		return 1
-	}
 	if *series != "" {
 		o.Series = &metrics.Series{Stride: *stride}
 	}
-	res, err := experiments.RunObserved(ctx, sc, spec, baseline, o)
-	if err != nil {
-		fmt.Fprintln(stderr, "run:", err)
-		return 1
+	o.FaultPolicy = policy
+	var res metrics.Result
+	var baseline float64
+	disabled := -1
+	if *chaosCase != "" {
+		cse, err := experiments.ChaosCaseByName(*chaosCase)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		row, err := experiments.RunChaos(ctx, sc, spec, cse, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "run:", err)
+			return 1
+		}
+		res, disabled = row.Result, row.Disabled
+	} else {
+		baseline, err = experiments.BaselinePower(ctx, sc)
+		if err != nil {
+			fmt.Fprintln(stderr, "baseline:", err)
+			return 1
+		}
+		res, err = experiments.RunObserved(ctx, sc, spec, baseline, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "run:", err)
+			return 1
+		}
 	}
 	if o.Series != nil {
 		f, err := os.Create(*series)
@@ -169,7 +197,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		fmt.Fprintf(stdout, "scenario: model=%s mix=%s budgets=%s ticks=%d seed=%d stack=%s policy=%s\n",
 			*modelName, *mix, sc.Budgets.Label(), *ticks, *seed, *stack, *pol)
-		fmt.Fprintf(stdout, "baseline: %.0f W average (no power management)\n", baseline)
+		if *chaosCase != "" {
+			fmt.Fprintf(stdout, "chaos: %s (fault policy %s)\n", *chaosCase, policy)
+		} else {
+			fmt.Fprintf(stdout, "baseline: %.0f W average (no power management)\n", baseline)
+		}
 	}
 	fmt.Fprintf(stdout, "avg power      %8.0f W\n", res.AvgPower)
 	fmt.Fprintf(stdout, "peak power     %8.0f W\n", res.PeakPower)
@@ -179,5 +211,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "viol EM        %8.2f %%\n", 100*res.ViolEM)
 	fmt.Fprintf(stdout, "viol GM        %8.2f %%\n", 100*res.ViolGM)
 	fmt.Fprintf(stdout, "servers on     %8.1f\n", res.AvgServersOn)
+	if disabled >= 0 {
+		fmt.Fprintf(stdout, "disabled ctrls %8d\n", disabled)
+	}
 	return 0
 }

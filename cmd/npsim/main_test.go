@@ -90,6 +90,37 @@ func writeTinyTraces(t *testing.T, path string) {
 	}
 }
 
+func TestChaosFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-mix", "60L", "-ticks", "300", "-chaos", "sm-crash",
+		"-fault-policy", "degrade", "-v"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, frag := range []string{"chaos: sm-crash (fault policy degrade)", "disabled ctrls        1"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	// Without the degrade policy the injected crash fails the run.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-mix", "60L", "-ticks", "300", "-chaos", "sm-crash"}, &out, &errOut); code != 1 {
+		t.Errorf("exit %d, want 1 (fault policy fail surfaces the panic)", code)
+	}
+	if !strings.Contains(errOut.String(), "injected crash") {
+		t.Errorf("stderr = %q, want the injected-crash error", errOut.String())
+	}
+
+	if code := run([]string{"-chaos", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown chaos case exit %d, want 2", code)
+	}
+	if code := run([]string{"-fault-policy", "bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown fault policy exit %d, want 2", code)
+	}
+}
+
 func TestTraceAndHTTPFlags(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "events.ndjson")
 	var out, errOut bytes.Buffer

@@ -108,6 +108,20 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	}
 }
 
+// FailSafe resets every blade's dynamic budget to its static thermal budget
+// CAP_LOC — the degraded-mode fallback after the EM is disabled by a panic
+// (sim.FaultDegrade). The static budgets are the provisioned-safe hierarchy
+// (§2.1), so with the EM dead each blade's SM keeps enforcing a bound that
+// cannot exceed what the enclosure was built for.
+func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
+	for _, e := range cl.Enclosures {
+		for _, sid := range e.Servers {
+			s := cl.Servers[sid]
+			s.DynCap = s.StaticCap
+		}
+	}
+}
+
 // DrainViolations returns and resets the enclosure-level violation
 // telemetry (Fig. 4: "expose power budget violations to VMC").
 func (c *Controller) DrainViolations() (violations, epochs int) {

@@ -130,6 +130,22 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	}
 }
 
+// FailSafe resets every child's dynamic budget to its static budget — the
+// degraded-mode fallback after the GM is disabled by a panic
+// (sim.FaultDegrade). Enclosures fall back to CAP_ENC and standalone
+// servers to CAP_LOC: the statically provisioned hierarchy the dynamic
+// re-provisioning always stayed below (the min rule), so the group bound
+// degrades gracefully to its design-time value instead of drifting.
+func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
+	for _, e := range cl.Enclosures {
+		e.DynCap = e.StaticCap
+	}
+	for _, sid := range cl.StandaloneServers() {
+		s := cl.Servers[sid]
+		s.DynCap = s.StaticCap
+	}
+}
+
 // DrainViolations returns and resets the group-level violation telemetry.
 func (c *Controller) DrainViolations() (violations, epochs int) {
 	violations, epochs = c.violations, c.epochs

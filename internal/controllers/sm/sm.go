@@ -186,6 +186,26 @@ func (c *Controller) effectiveCap(s *cluster.Server) float64 {
 	return s.StaticCap
 }
 
+// FailSafe drives every powered server to the most conservative capping
+// posture — the degraded-mode fallback the engine invokes after the SM is
+// disabled by a panic (sim.FaultDegrade). Coordinated: r_ref is pinned at
+// the ceiling through the EC channel, so the utilization loop throttles to
+// the deepest P-state and the thermal budget stays respected without any SM
+// feedback. Uncoordinated: the P-state itself is pinned deepest, after any
+// other writer of the knob has acted this tick.
+func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
+	for i, s := range cl.Servers {
+		if !s.On {
+			continue
+		}
+		if c.Mode == Coordinated {
+			c.ec.SetRRef(i, RRefCeil)
+		} else {
+			s.PState = s.Model.NumPStates() - 1
+		}
+	}
+}
+
 // DrainViolations returns and resets the violation telemetry: the count of
 // over-budget server-epochs and the epoch count since the previous drain.
 // This is the "expose power budget violations to VMC" interface of Fig. 4.

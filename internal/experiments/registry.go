@@ -84,13 +84,14 @@ var registry = map[string]struct {
 	"extensions": {Extensions, "§6.1 extensions: VM-level EC, energy-delay objective, CAP, heterogeneity, MIMO"},
 	"models":     {Models, "the Fig. 5 power/performance calibrations and base parameters"},
 	"cooling":    {Cooling, "§7 future work: cooling-domain coordination (CRAC setpoint + budgets)"},
+	"chaos":      {Chaos, "fault-injection soak: flaps, sensor faults, crashes under degraded mode (§3.2)"},
 }
 
 // Names lists the registered experiment IDs in DESIGN.md order.
 func Names() []string {
 	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
 		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
-		"extensions", "cooling"}
+		"extensions", "cooling", "chaos"}
 	// Guard against drift between the slice and the map.
 	if len(order) != len(registry) {
 		keys := make([]string, 0, len(registry))

@@ -231,6 +231,11 @@ type Observers struct {
 	// Metrics streams live runtime telemetry (controller latencies, budget
 	// violations, group power) into a registry, e.g. for a /metrics endpoint.
 	Metrics *obs.Registry
+	// FaultPolicy selects the engine's reaction to a controller panic (the
+	// zero value is sim.FaultFail: recover and fail the run). It rides in
+	// this bundle because, like the attachments, it is a per-run engine knob
+	// orthogonal to what is being simulated.
+	FaultPolicy sim.FaultPolicy
 }
 
 // RunObserved is RunVsBaseline with observability attachments: a time-series
@@ -253,6 +258,7 @@ func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	}
 	eng.Tracer = o.Tracer
 	eng.Metrics = o.Metrics
+	eng.FaultPolicy = o.FaultPolicy
 	col, err := eng.RunContext(ctx, sc.Ticks)
 	if err != nil {
 		return metrics.Result{}, err

@@ -4,7 +4,8 @@
 //
 // Violations are measured against the *static* budgets CAP_LOC / CAP_ENC /
 // CAP_GRP and reported as the percentage of observation intervals in
-// violation (server-ticks for the SM level). Peak power savings are not
+// violation (powered server-ticks for the SM level — an off server has no
+// controller interval, so it is excluded from the denominator). Peak power savings are not
 // reported as a metric because, as the paper notes, they are configuration
 // inputs (the budget headrooms), not outcomes.
 package metrics
@@ -26,8 +27,7 @@ type Collector struct {
 	onServerSum int
 
 	violSM     int // server-ticks over CAP_LOC
-	serverObs  int // on-server-ticks observed (denominator basis: all server-ticks)
-	allSrvObs  int
+	serverObs  int // ViolSM denominator: powered server-ticks (§4.2 controller intervals)
 	violEM     int // enclosure-ticks over CAP_ENC
 	encObs     int
 	violGM     int // ticks over CAP_GRP
@@ -47,8 +47,10 @@ func (c *Collector) Observe(cl *cluster.Cluster) {
 	}
 
 	for _, s := range cl.Servers {
-		c.allSrvObs++
 		if !s.On {
+			// A powered-off server has no SM controller interval: counting it
+			// in the denominator would dilute the §4.2 violation rate
+			// ("percentage of controller intervals in violation").
 			continue
 		}
 		c.serverObs++
@@ -67,9 +69,7 @@ func (c *Collector) Observe(cl *cluster.Cluster) {
 	if cl.GroupPower > cl.StaticCapGrp {
 		c.violGM++
 	}
-	if cl.OnCount() > 0 {
-		c.onServerSum += cl.OnCount()
-	}
+	c.onServerSum += cl.OnCount()
 }
 
 // Result is the final evaluation summary of one run.
@@ -111,8 +111,8 @@ func (c *Collector) Finalize(baselineAvgPower float64) Result {
 			r.PerfLoss = 0
 		}
 	}
-	if c.allSrvObs > 0 {
-		r.ViolSM = float64(c.violSM) / float64(c.allSrvObs)
+	if c.serverObs > 0 {
+		r.ViolSM = float64(c.violSM) / float64(c.serverObs)
 	}
 	if c.encObs > 0 {
 		r.ViolEM = float64(c.violEM) / float64(c.encObs)

@@ -91,23 +91,33 @@ func TestViolationRates(t *testing.T) {
 	}
 }
 
-func TestViolationDenominatorIncludesOffServers(t *testing.T) {
-	cl := testutil.StandaloneCluster(t, 2, 10, 1.0)
-	if err := cl.Move(0, 1, 0); err != nil {
-		t.Fatal(err)
+func TestViolationDenominatorExcludesOffServers(t *testing.T) {
+	// Regression for the §4.2 definition: ViolSM is the percentage of
+	// CONTROLLER intervals in violation, and an off server has no controller
+	// interval. With half the cluster powered down, the denominator must be
+	// the powered half only — the old all-server-ticks denominator diluted
+	// the rate to 0.5 here.
+	cl := testutil.StandaloneCluster(t, 4, 10, 1.0) // P0 saturated: over cap
+	for _, vm := range []int{0, 1} {
+		if err := cl.Move(vm, vm+2, 0); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := cl.PowerOff(0); err != nil {
-		t.Fatal(err)
+	for _, srv := range []int{0, 1} {
+		if err := cl.PowerOff(srv); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var c Collector
 	cl.Advance(0)
 	c.Observe(cl)
 	r := c.Finalize(0)
-	// One of two server-ticks violates (the off one cannot).
-	if math.Abs(r.ViolSM-0.5) > 1e-12 {
-		t.Errorf("ViolSM = %v, want 0.5", r.ViolSM)
+	// Both powered servers violate (two stacked saturated workloads each), so
+	// the rate over powered server-ticks is exactly 1.
+	if math.Abs(r.ViolSM-1) > 1e-12 {
+		t.Errorf("ViolSM = %v, want 1 (off servers must not dilute the rate)", r.ViolSM)
 	}
-	if r.AvgServersOn != 1 {
+	if r.AvgServersOn != 2 {
 		t.Errorf("AvgServersOn = %v", r.AvgServersOn)
 	}
 }

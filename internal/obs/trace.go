@@ -32,6 +32,10 @@ const (
 	ActPlacement = "placement"
 	// ActPower is a server's on/off state (1 = on, 0 = off).
 	ActPower = "power"
+	// ActControl is the control plane itself: the engine emits one event
+	// here when it recovers a controller panic ("panic") and one when it
+	// disables the controller under the degrade fault policy ("disabled").
+	ActControl = "control"
 )
 
 // Event is one structured actuation record: at tick Tick, Controller wrote

@@ -52,9 +52,21 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	return e.value, e.err
 }
 
-// Len reports the number of successfully cached entries.
+// Len reports the number of successfully cached entries: computations still
+// in flight don't count, and neither does a failed entry observed in the
+// window between its completion and its removal from the table.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, e := range c.entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default: // still computing
+		}
+	}
+	return n
 }

@@ -159,6 +159,41 @@ func TestCacheSingleflight(t *testing.T) {
 	}
 }
 
+func TestCacheLenCountsOnlySettledSuccesses(t *testing.T) {
+	// Regression: Len documents "successfully cached entries" but used to
+	// return the raw table size, counting computations still in flight.
+	var c Cache[string, int]
+	if _, err := c.Get("done", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Get("inflight", func() (int, error) {
+			close(started)
+			<-release
+			return 2, nil
+		})
+	}()
+	<-started
+	if got := c.Len(); got != 1 {
+		t.Errorf("Len with one settled + one in-flight entry = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len after both settle = %d, want 2", got)
+	}
+	// Failed computations never count (they are removed on completion).
+	_, _ = c.Get("fail", func() (int, error) { return 0, fmt.Errorf("boom") })
+	if got := c.Len(); got != 2 {
+		t.Errorf("Len after failed compute = %d, want 2", got)
+	}
+}
+
 func TestCacheErrorsNotCached(t *testing.T) {
 	var c Cache[int, string]
 	calls := 0

@@ -76,6 +76,12 @@ func FailServer(at, server int) Event {
 			if err := cl.Move(vmID, target, at); err != nil {
 				break
 			}
+			if len(s.VMs) > 0 && s.VMs[0] == vmID {
+				// Progress guard: Move returned success but the head VM is
+				// still here (e.g. bookkeeping already inconsistent). Without
+				// this the loop would re-read the same head forever.
+				break
+			}
 		}
 		if len(s.VMs) == 0 {
 			// PowerOff cannot fail on an empty server.

@@ -3,6 +3,7 @@ package sim
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"nopower/internal/testutil"
 )
@@ -111,6 +112,111 @@ func TestScaleDemand(t *testing.T) {
 	NewEventInjector(ScaleDemand(0, 0)).Tick(0, cl)
 	if got := cl.VMs[0].Trace.At(3); got != 0.4 {
 		t.Errorf("zero-factor scale applied: %v", got)
+	}
+}
+
+func TestFiredSameTickKeepsScheduleOrder(t *testing.T) {
+	// Same-tick events fire in the order they were passed to the injector
+	// (the sort is stable), and late registration of an earlier tick still
+	// fires first.
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.2)
+	mk := func(at int, name string) Event { return Event{At: at, Name: name} }
+	inj := NewEventInjector(mk(4, "x"), mk(4, "y"), mk(1, "early"), mk(4, "z"))
+	eng := New(cl, inj)
+	if _, err := eng.Run(6); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1:early", "4:x", "4:y", "4:z"}
+	got := inj.Fired()
+	if len(got) != len(want) {
+		t.Fatalf("fired = %v", got)
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("fired[%d] = %q, want %q", i, got[i], w)
+		}
+	}
+	// Fired returns a copy: mutating it must not corrupt the injector.
+	got[0] = "tampered"
+	if inj.Fired()[0] != "1:early" {
+		t.Error("Fired() exposes internal state")
+	}
+}
+
+func TestFailServerProgressGuard(t *testing.T) {
+	// Regression: if Move succeeds without removing the head VM from the
+	// failed server's list (bookkeeping already inconsistent — here the VM
+	// claims to live on the evacuation target already), FailServer used to
+	// re-read the same head forever. The guard must break instead.
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.2)
+	cl.VMs[0].Server = 1 // lie: still listed on server 0, claims server 1
+	done := make(chan struct{})
+	go func() {
+		FailServer(0, 0).Apply(cl)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("FailServer livelocked on a non-removing Move")
+	}
+	if cl.Servers[0].On {
+		t.Error("failed server with stranded VM must still go dark")
+	}
+}
+
+func TestFailServerOutOfRangeIsNoOp(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.2)
+	for _, srv := range []int{-1, 99} {
+		FailServer(0, srv).Apply(cl)
+	}
+	if cl.OnCount() != 2 {
+		t.Error("out-of-range failure touched the cluster")
+	}
+}
+
+func TestRestoreServerAfterStrandedFailure(t *testing.T) {
+	// A 1-server cluster has no evacuation target: the failure strands the
+	// VM on a dark machine (CheckInvariants rejects that state by design).
+	// RestoreServer must bring the machine back at P0 with the VM still
+	// placed, restoring the invariants.
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.5)
+	inj := NewEventInjector(FailServer(2, 0), RestoreServer(5, 0))
+	eng := New(cl, inj)
+	probe := func() {
+		if _, err := eng.Run(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe() // ticks 0-2: failure fired
+	if cl.Servers[0].On {
+		t.Fatal("server still on after failure")
+	}
+	if err := cl.CheckInvariants(); err == nil {
+		t.Error("stranded-VM outage should violate placement invariants")
+	}
+	probe() // ticks 3-5: restore fired
+	if !cl.Servers[0].On || cl.Servers[0].PState != 0 {
+		t.Error("server not restored at P0")
+	}
+	if len(cl.Servers[0].VMs) != 1 {
+		t.Errorf("stranded VM lost across restore: %v", cl.Servers[0].VMs)
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Errorf("invariants broken after restore: %v", err)
+	}
+	// Out-of-range restores are no-ops.
+	RestoreServer(0, -2).Apply(cl)
+	RestoreServer(0, 42).Apply(cl)
+}
+
+func TestScaleDemandNonPositiveFactorIgnored(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.2)
+	for _, factor := range []float64{0, -1.5} {
+		ScaleDemand(0, factor).Apply(cl)
+		if got := cl.VMs[0].Trace.At(0); got != 0.2 {
+			t.Errorf("factor %v applied: demand = %v, want 0.2", factor, got)
+		}
 	}
 }
 

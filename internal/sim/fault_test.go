@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/obs"
+	"nopower/internal/testutil"
+)
+
+// bomb panics at a chosen tick and counts the ticks it ran.
+type bomb struct {
+	name  string
+	at    int
+	ticks int
+}
+
+func (b *bomb) Name() string { return b.name }
+func (b *bomb) Tick(k int, cl *cluster.Cluster) {
+	b.ticks++
+	if k == b.at {
+		panic("kaboom")
+	}
+}
+
+// safeBomb is a bomb with a fail-safe that records its invocations.
+type safeBomb struct {
+	bomb
+	failsafes []int
+}
+
+func (s *safeBomb) FailSafe(k int, cl *cluster.Cluster) {
+	s.failsafes = append(s.failsafes, k)
+}
+
+func TestFaultFailReturnsControllerPanicError(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 20, 0.2)
+	eng := New(cl, &bomb{name: "boomer", at: 3})
+	_, err := eng.Run(10)
+	if err == nil {
+		t.Fatal("panic swallowed under FaultFail")
+	}
+	var pe *ControllerPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not *ControllerPanicError", err)
+	}
+	if pe.Tick != 3 || pe.Controller != "boomer" || pe.Value != "kaboom" {
+		t.Errorf("panic error fields = %+v", pe)
+	}
+	if pe.Stack == "" || !strings.Contains(pe.Stack, "Tick") {
+		t.Error("panic error must capture the stack")
+	}
+	if !strings.Contains(pe.Error(), "boomer") || !strings.Contains(pe.Error(), "tick 3") {
+		t.Errorf("Error() = %q", pe.Error())
+	}
+}
+
+func TestFaultDegradeDisablesAndContinues(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 50, 0.2)
+	b := &safeBomb{bomb: bomb{name: "boomer", at: 2}}
+	healthy := &recorder{name: "healthy"}
+	eng := New(cl, b, healthy)
+	eng.FaultPolicy = FaultDegrade
+	col, err := eng.Run(10)
+	if err != nil {
+		t.Fatalf("degrade mode failed the run: %v", err)
+	}
+	if col.Finalize(0).Ticks != 10 {
+		t.Error("run did not complete all ticks")
+	}
+	// The bomb ran ticks 0..2 and was then disabled.
+	if b.bomb.ticks != 3 {
+		t.Errorf("bomb ticked %d times, want 3", b.bomb.ticks)
+	}
+	// Its fail-safe took over from the panicking tick onward.
+	if len(b.failsafes) != 8 || b.failsafes[0] != 2 || b.failsafes[7] != 9 {
+		t.Errorf("failsafe ticks = %v, want ticks 2..9", b.failsafes)
+	}
+	// The healthy controller never missed a tick.
+	if len(healthy.ticks) != 10 {
+		t.Errorf("healthy controller ran %d ticks, want 10", len(healthy.ticks))
+	}
+	if got := eng.Disabled(); len(got) != 1 || got[0] != "boomer" {
+		t.Errorf("Disabled() = %v", got)
+	}
+}
+
+func TestFaultDegradeRecordsOnTracerAndMetrics(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 20, 0.2)
+	rec := obs.NewRingRecorder(0)
+	reg := obs.NewRegistry()
+	eng := New(cl, &bomb{name: "boomer", at: 1})
+	eng.FaultPolicy = FaultDegrade
+	eng.Tracer = rec
+	eng.Metrics = reg
+	if _, err := eng.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	var panicked, disabled bool
+	for _, e := range rec.Events() {
+		if e.Actuator == obs.ActControl && e.Controller == "boomer" {
+			switch e.Reason {
+			case "panic":
+				panicked = true
+			case "disabled":
+				disabled = true
+			}
+		}
+	}
+	if !panicked || !disabled {
+		t.Errorf("trace missing panic/disable events (panic=%v disabled=%v)", panicked, disabled)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`np_sim_controller_panics_total{controller="boomer"} 1`,
+		`np_sim_controller_disabled_total{controller="boomer"} 1`,
+		"np_sim_controllers_disabled 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultPropagateReRaises(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 10, 0.2)
+	eng := New(cl, &bomb{name: "boomer", at: 0})
+	eng.FaultPolicy = FaultPropagate
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Errorf("recovered %v, want the original panic", r)
+		}
+	}()
+	_, _ = eng.Run(5)
+	t.Error("panic did not propagate")
+}
+
+// brokenFailsafe panics in both Tick and FailSafe.
+type brokenFailsafe struct{ fsCalls int }
+
+func (b *brokenFailsafe) Name() string { return "broken" }
+func (b *brokenFailsafe) Tick(k int, cl *cluster.Cluster) {
+	panic("tick")
+}
+func (b *brokenFailsafe) FailSafe(k int, cl *cluster.Cluster) {
+	b.fsCalls++
+	panic("failsafe")
+}
+
+func TestDegradeSurvivesPanickingFailsafe(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 20, 0.2)
+	b := &brokenFailsafe{}
+	eng := New(cl, b)
+	eng.FaultPolicy = FaultDegrade
+	if _, err := eng.Run(6); err != nil {
+		t.Fatalf("degraded run died on a panicking fail-safe: %v", err)
+	}
+	// The fail-safe panicked once, was marked broken, and never ran again.
+	if b.fsCalls != 1 {
+		t.Errorf("broken fail-safe ran %d times, want 1", b.fsCalls)
+	}
+}
+
+func TestFaultPolicyNames(t *testing.T) {
+	for _, p := range []FaultPolicy{FaultFail, FaultDegrade, FaultPropagate} {
+		got, err := FaultPolicyByName(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v → %q → %v, %v", p, p.String(), got, err)
+		}
+	}
+	if _, err := FaultPolicyByName("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

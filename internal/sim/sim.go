@@ -59,16 +59,23 @@ type Engine struct {
 	// power, servers-on, and budget-violation counters — the signals the
 	// Collector only reports at Finalize, available mid-run on /metrics.
 	Metrics *obs.Registry
+	// FaultPolicy selects what happens when a controller panics mid-tick:
+	// fail the run with a *ControllerPanicError (FaultFail, the default),
+	// disable the controller and continue in degraded mode (FaultDegrade),
+	// or re-raise the panic (FaultPropagate). See fault.go.
+	FaultPolicy FaultPolicy
 
-	tick     int
-	obsWired bool
-	ctl      []ctlInstr
-	mTicks   *obs.Counter
-	mPower   *obs.Gauge
-	mOn      *obs.Gauge
-	mViolSM  *obs.Counter
-	mViolEM  *obs.Counter
-	mViolGM  *obs.Counter
+	tick           int
+	obsWired       bool
+	ctl            []ctlInstr
+	disabled       []bool // controllers knocked out by FaultDegrade
+	failsafeBroken []bool // fail-safes that themselves panicked
+	mTicks         *obs.Counter
+	mPower         *obs.Gauge
+	mOn            *obs.Gauge
+	mViolSM        *obs.Counter
+	mViolEM        *obs.Counter
+	mViolGM        *obs.Counter
 }
 
 // ctlInstr caches one controller's metric handles so the per-tick hot path
@@ -168,13 +175,21 @@ func (e *Engine) Run(ticks int) (*metrics.Collector, error) {
 // RunContext is Run with cooperative cancellation: it checks the context
 // between ticks and stops with the context's error as soon as it is
 // cancelled or its deadline passes. Invariant violations in Paranoid mode
-// surface as a *InvariantError.
+// surface as a *InvariantError; controller panics surface per FaultPolicy
+// (a *ControllerPanicError under the default FaultFail).
+//
+// Zero ticks is a no-op that returns the collector unchanged, so callers
+// probing the plant between ticks can pass a computed count without
+// special-casing zero; negative counts are an error.
 func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector, error) {
-	if ticks <= 0 {
+	if ticks < 0 {
 		return nil, fmt.Errorf("sim: ticks %d", ticks)
 	}
 	if e.Collector == nil {
 		e.Collector = &metrics.Collector{}
+	}
+	if ticks == 0 {
+		return e.Collector, nil
 	}
 	e.wireObservability()
 	done := ctx.Done()
@@ -187,16 +202,27 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			}
 		}
 		k := e.tick
-		if e.Metrics != nil {
-			for ci, c := range e.Controllers {
-				start := time.Now()
-				c.Tick(k, e.Cluster)
+		for ci := range e.Controllers {
+			if e.disabled != nil && e.disabled[ci] {
+				e.failSafeTick(ci, k)
+				continue
+			}
+			var start time.Time
+			if e.Metrics != nil {
+				start = time.Now()
+			}
+			perr := e.tickOne(ci, k)
+			if e.Metrics != nil {
 				e.ctl[ci].seconds.Observe(time.Since(start).Seconds())
 				e.ctl[ci].ticks.Inc()
 			}
-		} else {
-			for _, c := range e.Controllers {
-				c.Tick(k, e.Cluster)
+			if perr != nil {
+				e.recordPanic(perr)
+				if e.FaultPolicy != FaultDegrade {
+					return nil, perr
+				}
+				e.disable(ci, k)
+				e.failSafeTick(ci, k)
 			}
 		}
 		e.Cluster.Advance(k)

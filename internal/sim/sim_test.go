@@ -27,11 +27,30 @@ func (r *recorder) Tick(k int, cl *cluster.Cluster) {
 func TestRunValidation(t *testing.T) {
 	cl := testutil.StandaloneCluster(t, 1, 10, 0.2)
 	eng := New(cl)
-	if _, err := eng.Run(0); err == nil {
-		t.Error("zero ticks accepted")
+	// Run(0) is a documented no-op: callers probing between ticks can pass a
+	// computed count without special-casing zero.
+	col, err := eng.Run(0)
+	if err != nil {
+		t.Errorf("Run(0) = %v, want no-op", err)
+	}
+	if col != eng.Collector || col == nil {
+		t.Error("Run(0) must return the engine's collector")
+	}
+	if eng.Tick() != 0 {
+		t.Errorf("Run(0) advanced the clock to %d", eng.Tick())
 	}
 	if _, err := eng.Run(-5); err == nil {
 		t.Error("negative ticks accepted")
+	}
+	// Run(0) interleaved with real ticks observes nothing extra: Run(2) +
+	// Run(0) + Run(3) ≡ Run(5).
+	for _, n := range []int{2, 0, 3} {
+		if _, err := eng.Run(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Collector.Finalize(0).Ticks; got != 5 {
+		t.Errorf("observed %d ticks, want 5", got)
 	}
 }
 

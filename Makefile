@@ -8,7 +8,7 @@ COVER_PKG    = ./internal/obs
 COVER_MIN    = 80.0
 COVER_OUT    = coverage.out
 
-.PHONY: all build test race bench check fmt vet cover soak
+.PHONY: all build test race bench check fmt vet cover soak verify
 
 all: check
 
@@ -18,11 +18,23 @@ build:
 test:
 	$(GO) test ./...
 
+# verify is the baseline everything-compiles-and-passes gate: clean
+# formatting, vet, a full build, and the test suite — the checks a
+# reviewer assumes are green before reading a line.
+verify:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+
 # race is the gate for the parallel experiment runner: every experiment
 # test forces the concurrent worker-pool path, so this catches data races
-# in shared caches, models, and the metrics pipeline. vet and the obs
+# in shared caches, models, and the metrics pipeline. verify and the obs
 # coverage floor ride along so one target stays the pre-merge gate.
-race: vet cover
+race: verify cover
 	$(GO) test -race ./...
 
 bench:
@@ -31,7 +43,7 @@ bench:
 # soak runs the fault-injection acceptance suite under the race detector:
 # every chaos scenario against both stacks with FaultPolicy = degrade, the
 # panic sandbox, fail-safe fallback, and chaos event library all exercised.
-soak:
+soak: verify
 	$(GO) test -race -count=1 ./internal/chaos ./internal/sim
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/experiments
 

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"nopower/internal/binpack"
+	"nopower/internal/checkpoint"
 	"nopower/internal/cluster"
 	"nopower/internal/core"
 	"nopower/internal/experiments"
@@ -128,6 +129,51 @@ func BenchmarkStackApparentUtil(b *testing.B) { benchStack(b, core.CoordinatedAp
 
 // BenchmarkStackNoBudgets measures the unconstrained-packer ablation.
 func BenchmarkStackNoBudgets(b *testing.B) { benchStack(b, core.CoordinatedNoBudgetLimits(), 1200) }
+
+// BenchmarkCheckpointOverhead measures what crash-safety costs a full
+// coordinated run (180 servers, 1200 ticks): "off" is the plain engine path
+// (CheckpointEvery zero — the per-tick check is one integer compare), and
+// each every=N case attaches a Saver writing real gzip'd snapshots to a
+// temp dir. The acceptance bar is <5% overhead at the npsim default of
+// every 500 ticks.
+func BenchmarkCheckpointOverhead(b *testing.B) {
+	sc := experiments.Scenario{Model: "BladeA", Mix: tracegen.Mix180,
+		Budgets: experiments.Base201510(), Ticks: 1200, Seed: 42}
+	for _, every := range []int{0, 500, 100} {
+		name := "off"
+		if every > 0 {
+			name = fmt.Sprintf("every=%d", every)
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			for i := 0; i < b.N; i++ {
+				cl, err := sc.BuildCluster()
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, _, err := core.Build(cl, core.Coordinated())
+				if err != nil {
+					b.Fatal(err)
+				}
+				var s *checkpoint.Saver
+				if every > 0 {
+					s = &checkpoint.Saver{Dir: dir, Every: every}
+					if err := s.Attach(eng); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := eng.Run(sc.Ticks); err != nil {
+					b.Fatal(err)
+				}
+				if s != nil {
+					if err := s.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // --- Micro-benchmarks for the substrate hot paths ---
 

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nopower/internal/checkpoint"
+	"nopower/internal/core"
+	"nopower/internal/experiments"
+	"nopower/internal/sim"
+	"nopower/internal/tracegen"
+)
+
+// writeSnapshot runs a small coordinated simulation for ticks and writes its
+// snapshot to a file, returning the path.
+func writeSnapshot(t *testing.T, dir string, ticks int) string {
+	t.Helper()
+	sc := experiments.Scenario{Model: "BladeA", Mix: tracegen.Mix60L,
+		Budgets: experiments.Base201510(), Ticks: 600, Seed: 42}
+	cl, err := sc.BuildCluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.Coordinated()
+	spec.Seed = 42
+	spec.Periods = core.Periods{EC: 1, SM: 2, EM: 5, GM: 10, VMC: 20}
+	eng, _, err := core.Build(cl, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(ticks); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, checkpoint.FileName(ticks))
+	f := &checkpoint.File{
+		Meta: checkpoint.Meta{Tick: snap.Tick, Experiment: "unit",
+			Labels: map[string]string{"stack": "coordinated"}, CreatedUnix: 1700000000},
+		State: snap,
+	}
+	if _, err := checkpoint.Write(path, f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageAndBadArgs(t *testing.T) {
+	for _, args := range [][]string{nil, {"bogus"}, {"info"}, {"diff", "a"}} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if !strings.Contains(errOut.String(), "usage:") {
+			t.Errorf("run(%v) stderr = %q", args, errOut.String())
+		}
+	}
+}
+
+func TestInfo(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, 40)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"info", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, frag := range []string{"tick        40", "stack=coordinated", "controllers",
+		"VMC", "GM", "EM", "SM", "EC", "rng", "collector", "servers"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("info output missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, 10)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"validate", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "valid resumable checkpoint at tick 10") {
+		t.Errorf("validate output = %q", out.String())
+	}
+
+	// Corrupt one payload byte: validate must fail on the checksum.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	bad := filepath.Join(dir, "bad.npckpt")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"validate", bad}, &out, &errOut); code != 1 {
+		t.Fatalf("validate of corrupt file: exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "checksum") {
+		t.Errorf("stderr = %q, want checksum error", errOut.String())
+	}
+}
+
+func TestDiffIdenticalAndDiffering(t *testing.T) {
+	dir := t.TempDir()
+	a := writeSnapshot(t, dir, 40)
+
+	// Same simulation rebuilt from scratch at the same tick: identical.
+	b := filepath.Join(dir, "b.npckpt")
+	same := writeSnapshot(t, t.TempDir(), 40)
+	fsame, err := checkpoint.Read(same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkpoint.Write(b, fsame); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"diff", a, b}, &out, &errOut); code != 0 {
+		t.Fatalf("diff of identical snapshots: exit %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Errorf("diff output = %q", out.String())
+	}
+
+	// A later tick of the same run: must differ, naming the moved parts.
+	c := writeSnapshot(t, t.TempDir(), 60)
+	out.Reset()
+	if code := run([]string{"diff", a, c}, &out, &errOut); code != 1 {
+		t.Fatalf("diff of different ticks: exit %d, want 1\n%s", code, out.String())
+	}
+	for _, frag := range []string{"differ", "tick 40 vs 60", "cluster", "collector"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("diff output missing %q:\n%s", frag, out.String())
+		}
+	}
+
+	// Unreadable operand: exit 2.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"diff", a, filepath.Join(dir, "missing.npckpt")}, &out, &errOut); code != 2 {
+		t.Errorf("diff with missing file: exit %d, want 2", code)
+	}
+}
+
+func TestInfoPanicSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSnapshot(t, dir, 10)
+	f, err := checkpoint.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Meta.MidTick = true
+	f.State.MidTick = true
+	ppath := filepath.Join(dir, checkpoint.PanicFileName(10))
+	if _, err := checkpoint.Write(ppath, f); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"info", ppath}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "not resumable") {
+		t.Errorf("info of a panic snapshot missing the not-resumable note:\n%s", out.String())
+	}
+	var snap *sim.Snapshot = f.State
+	if !snap.MidTick {
+		t.Fatal("fixture lost the mid-tick flag")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
 	"nopower/internal/experiments"
@@ -39,15 +40,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("npexp", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		ticks    = fs.Int("ticks", experiments.DefaultTicks, "simulation length per run in ticks")
-		seed     = fs.Int64("seed", 42, "trace/policy seed")
-		parallel = fs.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
-		timeout  = fs.Duration("timeout", 0, "cancel the batch after this duration (0 = none)")
-		markdown = fs.Bool("markdown", false, "render Markdown tables")
-		jsonOut  = fs.Bool("json", false, "emit one JSON document with every table")
-		quiet    = fs.Bool("q", false, "suppress progress output (errors still print)")
-		verbose  = fs.Int("v", 0, "log verbosity: 0 = progress, 1+ = per-experiment runner detail")
-		httpAddr = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the batch's duration (e.g. :8080)")
+		ticks     = fs.Int("ticks", experiments.DefaultTicks, "simulation length per run in ticks")
+		seed      = fs.Int64("seed", 42, "trace/policy seed")
+		parallel  = fs.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		timeout   = fs.Duration("timeout", 0, "cancel the batch after this duration (0 = none)")
+		markdown  = fs.Bool("markdown", false, "render Markdown tables")
+		jsonOut   = fs.Bool("json", false, "emit one JSON document with every table")
+		quiet     = fs.Bool("q", false, "suppress progress output (errors still print)")
+		verbose   = fs.Int("v", 0, "log verbosity: 0 = progress, 1+ = per-experiment runner detail")
+		httpAddr  = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the batch's duration (e.g. :8080)")
+		resumeDir = fs.String("resume-dir", "", "persist finished experiments into this directory and skip them on rerun (resumable batches)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,6 +102,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		experiments.WithSeed(*seed),
 		experiments.WithParallelism(*parallel),
 	}
+	// Resumable batches: each settled experiment's tables persist in a slot
+	// store keyed by (name, ticks, seed), so a rerun after a kill or failure
+	// skips everything already done.
+	var store *runner.SlotStore[[]*report.Table]
+	if *resumeDir != "" {
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			logger.Error("resume dir", "err", err)
+			return 1
+		}
+		var err error
+		store, err = runner.OpenSlotStore[[]*report.Table](filepath.Join(*resumeDir, "experiments.json"))
+		if err != nil {
+			logger.Error("resume store", "err", err)
+			return 1
+		}
+		if store.Len() > 0 {
+			logger.Info("resumable batch", "settled", store.Len())
+		}
+	}
+	slotKey := func(name string) string {
+		return fmt.Sprintf("%s@t=%d,s=%d", name, *ticks, *seed)
+	}
+
 	type namedTables struct {
 		Experiment string          `json:"experiment"`
 		Tables     []*report.Table `json:"tables"`
@@ -110,20 +135,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, name := range names {
 		start := time.Now()
 		jobs := runner.JobCount()
-		tables, err := experiments.RunExperiment(ctx, name, opts...)
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) {
-				logger.Error("experiment timed out", "experiment", name, "timeout", *timeout)
-			} else {
-				logger.Error("experiment failed", "experiment", name, "err", err)
+		var tables []*report.Table
+		var fromStore bool
+		if store != nil {
+			cached, ok, err := store.Get(slotKey(name))
+			if err != nil {
+				logger.Error("resume store", "experiment", name, "err", err)
+				return 1
 			}
-			return 1
+			tables, fromStore = cached, ok
 		}
-		logger.Info("experiment done",
-			"experiment", name,
-			"secs", fmt.Sprintf("%.1f", time.Since(start).Seconds()),
-			"jobs", runner.JobCount()-jobs,
-			"parallel", runner.Parallelism(*parallel))
+		if !fromStore {
+			var err error
+			tables, err = experiments.RunExperiment(ctx, name, opts...)
+			if err != nil {
+				if errors.Is(err, context.DeadlineExceeded) {
+					logger.Error("experiment timed out", "experiment", name, "timeout", *timeout)
+				} else {
+					logger.Error("experiment failed", "experiment", name, "err", err)
+				}
+				return 1
+			}
+			if store != nil {
+				if err := store.Put(slotKey(name), tables); err != nil {
+					logger.Error("resume store", "experiment", name, "err", err)
+					return 1
+				}
+			}
+		}
+		if fromStore {
+			logger.Info("experiment resumed from store", "experiment", name)
+		} else {
+			logger.Info("experiment done",
+				"experiment", name,
+				"secs", fmt.Sprintf("%.1f", time.Since(start).Seconds()),
+				"jobs", runner.JobCount()-jobs,
+				"parallel", runner.Parallelism(*parallel))
+		}
 		if verbosity >= 1 {
 			stats := runner.Stats()
 			logger.Debug("runner pool",

@@ -115,3 +115,41 @@ func TestSlogVerbosityLevels(t *testing.T) {
 		t.Errorf("-v 1 missing runner-pool debug line:\n%s", errOut.String())
 	}
 }
+
+// TestResumeDirSkipsSettledExperiments pins the resumable-batch contract: a
+// second run with the same -resume-dir serves settled experiments from the
+// slot store (logging "resumed from store") and produces identical output,
+// while a changed key (different ticks) reruns.
+func TestResumeDirSkipsSettledExperiments(t *testing.T) {
+	dir := t.TempDir()
+	var first, errOut bytes.Buffer
+	if code := run([]string{"-resume-dir", dir, "stability"}, &first, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), `msg="experiment done"`) {
+		t.Fatalf("first run did not execute the experiment:\n%s", errOut.String())
+	}
+
+	var second, errOut2 bytes.Buffer
+	if code := run([]string{"-resume-dir", dir, "stability"}, &second, &errOut2); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut2.String())
+	}
+	if !strings.Contains(errOut2.String(), `msg="experiment resumed from store"`) {
+		t.Errorf("second run did not resume from the store:\n%s", errOut2.String())
+	}
+	if strings.Contains(errOut2.String(), `msg="experiment done"`) {
+		t.Errorf("second run re-executed a settled experiment:\n%s", errOut2.String())
+	}
+	if first.String() != second.String() {
+		t.Error("resumed output differs from the original run")
+	}
+
+	// A different ticks value is a different slot key: must rerun.
+	var third, errOut3 bytes.Buffer
+	if code := run([]string{"-resume-dir", dir, "-ticks", "500", "failover"}, &third, &errOut3); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut3.String())
+	}
+	if !strings.Contains(errOut3.String(), `msg="experiment done"`) {
+		t.Errorf("new key did not execute:\n%s", errOut3.String())
+	}
+}

@@ -8,6 +8,8 @@
 //	npsim -model BladeA -mix 180 -stack coordinated -ticks 3000
 //	npsim -traces mine.csv -stack vmlevel -series out.csv
 //	npsim -chaos sm-crash -fault-policy degrade
+//	npsim -checkpoint-dir ckpt -checkpoint-every 500       # crash-safe run
+//	npsim -checkpoint-dir ckpt -resume                     # continue it
 //
 // Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
 // nobudgets, vmlevel, energydelay, slo, none.
@@ -21,6 +23,7 @@ import (
 	"os"
 	"strings"
 
+	"nopower/internal/checkpoint"
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
@@ -61,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write controller actuation events as NDJSON to this path")
 		chaosCase = fs.String("chaos", "", "inject a chaos scenario: "+strings.Join(experiments.ChaosCaseNames(), ", "))
 		faultPol  = fs.String("fault-policy", "fail", "reaction to a controller panic: fail, degrade, propagate")
+		ckptDir   = fs.String("checkpoint-dir", "", "write crash-safe snapshots into this directory")
+		ckptEvery = fs.Int("checkpoint-every", 500, "checkpoint interval in ticks (with -checkpoint-dir)")
+		resume    = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the other flags must match the checkpointed run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -141,6 +147,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Series = &metrics.Series{Stride: *stride}
 	}
 	o.FaultPolicy = policy
+
+	// The run-identity labels stamped into checkpoints and validated on
+	// resume: resuming under different settings would not be a continuation,
+	// it would be a silently different simulation.
+	labels := map[string]string{
+		"model": *modelName, "mix": *mix, "ticks": fmt.Sprint(*ticks),
+		"seed": fmt.Sprint(*seed), "stack": *stack, "policy": *pol,
+		"chaos": *chaosCase, "series-stride": fmt.Sprint(*stride),
+	}
+	if *ckptDir != "" {
+		o.Checkpoint = &checkpoint.Saver{
+			Dir: *ckptDir, Every: *ckptEvery,
+			Meta:     checkpoint.Meta{Experiment: "npsim", Labels: labels},
+			Registry: o.Metrics,
+		}
+	}
+	if *resume {
+		if *ckptDir == "" {
+			fmt.Fprintln(stderr, "resume: -resume requires -checkpoint-dir")
+			return 2
+		}
+		path, err := checkpoint.Latest(*ckptDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "resume:", err)
+			return 1
+		}
+		if path == "" {
+			fmt.Fprintf(stderr, "resume: no checkpoint in %s\n", *ckptDir)
+			return 1
+		}
+		f, err := checkpoint.Read(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "resume:", err)
+			return 1
+		}
+		for k, want := range labels {
+			if got := f.Meta.Labels[k]; got != want {
+				fmt.Fprintf(stderr, "resume: checkpoint %s was written with %s=%q, this run has %s=%q\n",
+					path, k, got, k, want)
+				return 2
+			}
+		}
+		o.Resume = f
+		logger.Info("resuming from checkpoint", "path", path, "tick", f.Meta.Tick)
+	}
 	var res metrics.Result
 	var baseline float64
 	disabled := -1

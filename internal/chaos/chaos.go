@@ -14,10 +14,10 @@ package chaos
 
 import (
 	"fmt"
-	"math/rand"
 
 	"nopower/internal/cluster"
 	"nopower/internal/obs"
+	"nopower/internal/rng"
 	"nopower/internal/sim"
 )
 
@@ -66,16 +66,20 @@ func DropSensors(from, to int, servers ...int) []sim.Event {
 // independent factor 1+u, u uniform in [-amp, amp], deterministically from
 // seed. This is the jittery telemetry of a real fleet; a robust capping
 // stack must not amplify it into budget violations.
+//
+// The noise factor is a pure function of (seed, tick, server id) — no
+// sequential stream — so a run resumed from a checkpoint draws the same
+// noise as an uninterrupted run regardless of how many events have fired.
 func NoiseSensors(from, to int, amp float64, seed int64, servers ...int) []sim.Event {
-	rng := rand.New(rand.NewSource(seed))
 	var evs []sim.Event
 	for k := from; k < to; k++ {
+		tick := k
 		evs = append(evs, sim.Event{
 			At:   k,
 			Name: fmt.Sprintf("sensor-noise-%d", k),
 			Apply: func(cl *cluster.Cluster) {
 				for _, s := range pickServers(cl, servers) {
-					f := 1 + amp*(2*rng.Float64()-1)
+					f := 1 + amp*(2*rng.Uniform(seed, tick, s.ID)-1)
 					s.Util *= f
 					if s.Util > 1 {
 						s.Util = 1
@@ -106,20 +110,23 @@ func pickServers(cl *cluster.Cluster, ids []int) []*cluster.Server {
 
 // FlapGroupBudget compiles budget flapping: starting at start the group
 // budget alternates every period ticks between lowFrac and highFrac of the
-// budget in force when the first flap fires — an operator (or a confused
-// higher-level manager) re-provisioning back and forth. cycles counts
-// low/high pairs; the budget is left at highFrac·base after the last cycle.
+// cluster's design-time budget (1−CapOffGrp)·maxGroupPower — an operator (or
+// a confused higher-level manager) re-provisioning back and forth. cycles
+// counts low/high pairs; the budget is left at highFrac·base after the last
+// cycle.
+//
+// The base is recomputed from the cluster's immutable configuration inside
+// each event rather than remembered from the first fire: events carry no
+// hidden state, so a checkpointed run replays identically however it is
+// split across resumes.
 func FlapGroupBudget(start, period, cycles int, lowFrac, highFrac float64) []sim.Event {
 	if period < 1 {
 		period = 1
 	}
-	base := new(float64) // captured lazily: the budget in force at first fire
 	set := func(frac float64) func(cl *cluster.Cluster) {
 		return func(cl *cluster.Cluster) {
-			if *base == 0 {
-				*base = cl.StaticCapGrp
-			}
-			if w := frac * *base; w > 0 {
+			base := (1 - cl.Cfg.CapOffGrp) * cl.MaxGroupPower()
+			if w := frac * base; w > 0 {
 				cl.StaticCapGrp = w
 			}
 		}
@@ -181,6 +188,25 @@ func (c *crasher) FailSafe(k int, cl *cluster.Cluster) {
 	if fs, ok := c.inner.(sim.FailSafer); ok {
 		fs.FailSafe(k, cl)
 	}
+}
+
+// State implements sim.Snapshotter by forwarding: the wrapper itself holds
+// only the (deterministic, rebuild-time) crash schedule.
+func (c *crasher) State() ([]byte, error) {
+	s, ok := c.inner.(sim.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("chaos: wrapped controller %s does not implement Snapshotter", c.inner.Name())
+	}
+	return s.State()
+}
+
+// Restore implements sim.Snapshotter by forwarding.
+func (c *crasher) Restore(data []byte) error {
+	s, ok := c.inner.(sim.Snapshotter)
+	if !ok {
+		return fmt.Errorf("chaos: wrapped controller %s does not implement Snapshotter", c.inner.Name())
+	}
+	return s.Restore(data)
 }
 
 // CrashByName replaces the named controller in the engine's stack with a

@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nopower/internal/obs"
+	"nopower/internal/sim"
+)
+
+// maxInflightWrites bounds the background checkpoint writes in flight. The
+// engine hands Save a detached deep copy, so encoding and the fsync'd write
+// overlap with the simulation; the bound gives backpressure if the disk
+// falls behind instead of piling up snapshots in memory.
+const maxInflightWrites = 2
+
+// Saver writes periodic checkpoints for one engine run into a directory.
+// Attach it to an engine and every Every-th tick boundary (plus any
+// checkpoint-on-panic) lands on disk atomically.
+//
+// Periodic writes are asynchronous: Save returns once the snapshot is
+// queued, and a write failure surfaces on the next Save or at Flush — call
+// Flush after the run to join outstanding writes and collect the first
+// error. Panic snapshots are written synchronously: they are the run's last
+// act, and must be on disk before the failure propagates.
+type Saver struct {
+	// Dir is the destination directory; created if missing.
+	Dir string
+	// Every is the checkpoint interval in ticks (0 disables periodic
+	// checkpoints; panic snapshots are still written).
+	Every int
+	// Meta stamps every written file; Tick and MidTick are filled per
+	// snapshot.
+	Meta Meta
+	// Registry, when set, receives checkpoint telemetry (np_checkpoint_*).
+	Registry *obs.Registry
+
+	// now is the clock, swappable in tests. Nil means time.Now.
+	now func() time.Time
+
+	wg       sync.WaitGroup
+	inflight chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// Attach wires the saver into the engine: the engine calls back at every
+// checkpoint boundary and on panic. The destination directory is created
+// eagerly so a doomed path fails at attach time, not mid-run.
+func (s *Saver) Attach(eng *sim.Engine) error {
+	if s.Dir == "" {
+		return errors.New("checkpoint: saver needs a directory")
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	eng.CheckpointEvery = s.Every
+	eng.OnCheckpoint = s.Save
+	return nil
+}
+
+// Save writes one snapshot. Periodic snapshots go to ckpt-<tick> in the
+// background; mid-tick (panic) snapshots go to panic-<tick> synchronously,
+// so Latest never resumes from one and the post-mortem is on disk before
+// the run unwinds.
+func (s *Saver) Save(snap *sim.Snapshot) error {
+	name := FileName(snap.Tick)
+	if snap.MidTick {
+		name = PanicFileName(snap.Tick)
+	}
+	meta := s.Meta
+	meta.Tick = snap.Tick
+	meta.MidTick = snap.MidTick
+	meta.CreatedUnix = s.clock().Unix()
+	f := &File{Meta: meta, State: snap}
+	path := filepath.Join(s.Dir, name)
+
+	if snap.MidTick {
+		return s.write(path, f)
+	}
+	if err := s.firstErr(); err != nil {
+		return err
+	}
+	if s.inflight == nil {
+		s.inflight = make(chan struct{}, maxInflightWrites)
+	}
+	s.inflight <- struct{}{}
+	s.wg.Add(1)
+	go func() {
+		defer func() {
+			<-s.inflight
+			s.wg.Done()
+		}()
+		if err := s.write(path, f); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// Flush joins every outstanding background write and returns the first
+// write error. Call it after the run; a Saver is reusable afterwards.
+func (s *Saver) Flush() error {
+	s.wg.Wait()
+	return s.firstErr()
+}
+
+func (s *Saver) write(path string, f *File) error {
+	start := s.clock()
+	n, err := Write(path, f)
+	if err != nil {
+		return err
+	}
+	if r := s.Registry; r != nil {
+		r.Counter("np_checkpoint_writes_total").Inc()
+		r.Counter("np_checkpoint_bytes_total").Add(n)
+		r.Gauge("np_checkpoint_last_bytes").Set(float64(n))
+		r.Gauge("np_checkpoint_last_tick").Set(float64(f.Meta.Tick))
+		r.Histogram("np_checkpoint_write_seconds", 0.001, 0.01, 0.1, 1).
+			Observe(s.clock().Sub(start).Seconds())
+	}
+	return nil
+}
+
+func (s *Saver) firstErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Saver) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}

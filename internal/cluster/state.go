@@ -1,0 +1,140 @@
+package cluster
+
+import "fmt"
+
+// This file is the plant's half of the checkpoint/restore subsystem
+// (DESIGN.md §10): State captures every field a running simulation mutates,
+// RestoreState reinstates them onto a cluster rebuilt by the same
+// construction path. Construction-time configuration — topology, models,
+// Cfg — is deliberately NOT captured: restore targets a cluster rebuilt
+// deterministically from the same scenario, and only overlays the mutable
+// state on top. Trace demand is captured only when a runtime event
+// (sim.ScaleDemand) has mutated it in place; pristine demand is rebuilt.
+
+// ServerState is the mutable per-server plant state.
+type ServerState struct {
+	On     bool
+	PState int
+	// StaticCap is captured even though it looks like configuration: the
+	// cooling manager and budget events rewrite it at runtime.
+	StaticCap float64
+	DynCap    float64
+	Util      float64
+	RealUtil  float64
+	Power     float64
+	DemandSum float64
+	VMs       []int
+}
+
+// EnclosureState is the mutable per-enclosure plant state.
+type EnclosureState struct {
+	StaticCap float64
+	DynCap    float64
+	Power     float64
+}
+
+// VMState is the mutable per-VM state. Demand is captured only when a
+// runtime event rewrote the trace in place (trace.Trace.Mutated); nil means
+// the rebuilt cluster's pristine demand is already correct. Skipping
+// pristine demand keeps snapshots kilobytes instead of megabytes — the
+// traces dominate everything else combined.
+type VMState struct {
+	Server         int
+	MigratingUntil int
+	Demand         []float64
+}
+
+// State is a complete copy of the cluster's mutable state.
+type State struct {
+	Servers       []ServerState
+	Enclosures    []EnclosureState
+	VMs           []VMState
+	StaticCapGrp  float64
+	GroupPower    float64
+	DemandWork    float64
+	DeliveredWork float64
+	LastTick      int
+}
+
+// State deep-copies the cluster's mutable state.
+func (c *Cluster) State() State {
+	st := State{
+		Servers:       make([]ServerState, len(c.Servers)),
+		Enclosures:    make([]EnclosureState, len(c.Enclosures)),
+		VMs:           make([]VMState, len(c.VMs)),
+		StaticCapGrp:  c.StaticCapGrp,
+		GroupPower:    c.GroupPower,
+		DemandWork:    c.DemandWork,
+		DeliveredWork: c.DeliveredWork,
+		LastTick:      c.LastTick,
+	}
+	for i, s := range c.Servers {
+		st.Servers[i] = ServerState{
+			On: s.On, PState: s.PState,
+			StaticCap: s.StaticCap, DynCap: s.DynCap,
+			Util: s.Util, RealUtil: s.RealUtil, Power: s.Power, DemandSum: s.DemandSum,
+			VMs: append([]int(nil), s.VMs...),
+		}
+	}
+	for i, e := range c.Enclosures {
+		st.Enclosures[i] = EnclosureState{StaticCap: e.StaticCap, DynCap: e.DynCap, Power: e.Power}
+	}
+	for i, vm := range c.VMs {
+		st.VMs[i] = VMState{Server: vm.Server, MigratingUntil: vm.MigratingUntil}
+		if vm.Trace.Mutated {
+			st.VMs[i].Demand = append([]float64(nil), vm.Trace.Demand...)
+		}
+	}
+	return st
+}
+
+// RestoreState overlays a captured state onto a cluster with the same
+// topology (same server, enclosure, and VM counts — i.e. one rebuilt from
+// the same scenario). It rejects shape mismatches instead of guessing.
+func (c *Cluster) RestoreState(st State) error {
+	if len(st.Servers) != len(c.Servers) {
+		return fmt.Errorf("cluster: restore: %d servers in snapshot, cluster has %d",
+			len(st.Servers), len(c.Servers))
+	}
+	if len(st.Enclosures) != len(c.Enclosures) {
+		return fmt.Errorf("cluster: restore: %d enclosures in snapshot, cluster has %d",
+			len(st.Enclosures), len(c.Enclosures))
+	}
+	if len(st.VMs) != len(c.VMs) {
+		return fmt.Errorf("cluster: restore: %d VMs in snapshot, cluster has %d",
+			len(st.VMs), len(c.VMs))
+	}
+	for i, ss := range st.Servers {
+		for _, vmID := range ss.VMs {
+			if vmID < 0 || vmID >= len(c.VMs) {
+				return fmt.Errorf("cluster: restore: server %d lists unknown vm %d", i, vmID)
+			}
+		}
+	}
+	for i, ss := range st.Servers {
+		s := c.Servers[i]
+		s.On, s.PState = ss.On, ss.PState
+		s.StaticCap, s.DynCap = ss.StaticCap, ss.DynCap
+		s.Util, s.RealUtil, s.Power, s.DemandSum = ss.Util, ss.RealUtil, ss.Power, ss.DemandSum
+		s.VMs = append([]int(nil), ss.VMs...)
+	}
+	for i, es := range st.Enclosures {
+		e := c.Enclosures[i]
+		e.StaticCap, e.DynCap, e.Power = es.StaticCap, es.DynCap, es.Power
+	}
+	for i, vs := range st.VMs {
+		vm := c.VMs[i]
+		vm.Server = vs.Server
+		vm.MigratingUntil = vs.MigratingUntil
+		vm.Trace.Mutated = vs.Demand != nil
+		if vs.Demand != nil {
+			vm.Trace.Demand = append([]float64(nil), vs.Demand...)
+		}
+	}
+	c.StaticCapGrp = st.StaticCapGrp
+	c.GroupPower = st.GroupPower
+	c.DemandWork = st.DemandWork
+	c.DeliveredWork = st.DeliveredWork
+	c.LastTick = st.LastTick
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/control"
 	"nopower/internal/obs"
+	"nopower/internal/state"
 )
 
 // DefaultLambda is the paper's base EC gain (Fig. 5: λ = 0.8, below the
@@ -115,3 +116,43 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 
 // Steps reports how many per-server control actions have run (telemetry).
 func (c *Controller) Steps() int { return c.nSteps }
+
+// ctrlState is the EC's serializable state: the per-server loop cursors
+// (target and continuous frequency) plus the boot-detection latches.
+type ctrlState struct {
+	RRef  []float64
+	F     []float64
+	WasOn []bool
+	Steps int
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	st := ctrlState{
+		RRef:  make([]float64, len(c.loops)),
+		F:     make([]float64, len(c.loops)),
+		WasOn: append([]bool(nil), c.wasOn...),
+		Steps: c.nSteps,
+	}
+	for i, loop := range c.loops {
+		st.RRef[i], st.F[i] = loop.RRef, loop.F
+	}
+	return state.Marshal(st)
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.RRef) != len(c.loops) || len(st.F) != len(c.loops) || len(st.WasOn) != len(c.loops) {
+		return fmt.Errorf("ec: state covers %d loops, controller has %d", len(st.RRef), len(c.loops))
+	}
+	for i, loop := range c.loops {
+		loop.RRef, loop.F = st.RRef[i], st.F[i]
+	}
+	copy(c.wasOn, st.WasOn)
+	c.nSteps = st.Steps
+	return nil
+}

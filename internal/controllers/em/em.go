@@ -22,6 +22,7 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/obs"
 	"nopower/internal/policy"
+	"nopower/internal/state"
 )
 
 // Mode selects coordinated (min-rule) or uncoordinated budget writing.
@@ -128,4 +129,42 @@ func (c *Controller) DrainViolations() (violations, epochs int) {
 	violations, epochs = c.violations, c.epochs
 	c.violations, c.epochs = 0, 0
 	return violations, epochs
+}
+
+// ctrlState is the EM's serializable state: undrained telemetry plus the
+// division policy's accumulated state (History's EWMA), when it has any.
+type ctrlState struct {
+	Violations int
+	Epochs     int
+	Policy     []byte
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	st := ctrlState{Violations: c.violations, Epochs: c.epochs}
+	if sp, ok := c.Policy.(policy.Stateful); ok {
+		blob, err := sp.PolicyState()
+		if err != nil {
+			return nil, err
+		}
+		st.Policy = blob
+	}
+	return state.Marshal(st)
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.violations, c.epochs = st.Violations, st.Epochs
+	if st.Policy != nil {
+		sp, ok := c.Policy.(policy.Stateful)
+		if !ok {
+			return fmt.Errorf("em: snapshot carries %s policy state but the policy is stateless", c.Policy.Name())
+		}
+		return sp.RestorePolicyState(st.Policy)
+	}
+	return nil
 }

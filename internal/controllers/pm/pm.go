@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"nopower/internal/cluster"
+	"nopower/internal/state"
 )
 
 // DefaultSLO is the default delivered/demanded work objective.
@@ -70,4 +71,25 @@ func (c *Controller) DrainViolations() (violations, epochs int) {
 	violations, epochs = c.violations, c.epochs
 	c.violations, c.epochs = 0, 0
 	return violations, epochs
+}
+
+// ctrlState is the PM's serializable state: the undrained SLO telemetry.
+type ctrlState struct {
+	Violations int
+	Epochs     int
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	return state.Marshal(ctrlState{Violations: c.violations, Epochs: c.epochs})
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.violations, c.epochs = st.Violations, st.Epochs
+	return nil
 }

@@ -34,6 +34,18 @@ func NewElectricalCapper(budget float64) (*ElectricalCapper, error) {
 // Name implements the simulator's Controller interface.
 func (e *ElectricalCapper) Name() string { return "CAP" }
 
+// State implements the simulator's Snapshotter interface. The capper is
+// pure feed-forward — its budget is configuration — so the state is empty.
+func (e *ElectricalCapper) State() ([]byte, error) { return nil, nil }
+
+// Restore implements the simulator's Snapshotter interface.
+func (e *ElectricalCapper) Restore(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("sm: electrical capper is stateless, got %d bytes", len(data))
+	}
+	return nil
+}
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (e *ElectricalCapper) SetTracer(t obs.Tracer) { e.tracer = t }
 

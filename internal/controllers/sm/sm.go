@@ -24,6 +24,7 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/control"
 	"nopower/internal/obs"
+	"nopower/internal/state"
 )
 
 // RRefSetter is the EC-side coordination interface: the one API the paper
@@ -213,4 +214,43 @@ func (c *Controller) DrainViolations() (violations, epochs int) {
 	violations, epochs = c.violations, c.epochs
 	c.violations, c.epochs = 0, 0
 	return violations, epochs
+}
+
+// ctrlState is the SM's serializable state: per-server capping-loop cursors
+// and the undrained violation telemetry.
+type ctrlState struct {
+	RRef       []float64
+	Cap        []float64
+	Violations int
+	Epochs     int
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	st := ctrlState{
+		RRef:       make([]float64, len(c.loops)),
+		Cap:        make([]float64, len(c.loops)),
+		Violations: c.violations,
+		Epochs:     c.epochs,
+	}
+	for i, loop := range c.loops {
+		st.RRef[i], st.Cap[i] = loop.RRef, loop.Cap
+	}
+	return state.Marshal(st)
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.RRef) != len(c.loops) || len(st.Cap) != len(c.loops) {
+		return fmt.Errorf("sm: state covers %d loops, controller has %d", len(st.RRef), len(c.loops))
+	}
+	for i, loop := range c.loops {
+		loop.RRef, loop.Cap = st.RRef[i], st.Cap[i]
+	}
+	c.violations, c.epochs = st.Violations, st.Epochs
+	return nil
 }

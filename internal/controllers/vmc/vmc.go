@@ -27,6 +27,7 @@ import (
 	"nopower/internal/binpack"
 	"nopower/internal/cluster"
 	"nopower/internal/obs"
+	"nopower/internal/state"
 )
 
 // ViolationSource is the telemetry interface the capping controllers expose
@@ -184,6 +185,44 @@ func (c *Controller) Estimates(cl *cluster.Cluster) []float64 {
 		out[i] = c.estimate(vm)
 	}
 	return out
+}
+
+// ctrlState is the VMC's serializable state: the demand estimator, the
+// feedback buffers, and the telemetry counters.
+type ctrlState struct {
+	Mean, Dev               []float64
+	Seeded                  []bool
+	BLoc, BEnc, BGrp, BPerf float64
+	Migrations              int
+	Repacks                 int
+	Unplaced                int
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	return state.Marshal(ctrlState{
+		Mean: append([]float64(nil), c.mean...), Dev: append([]float64(nil), c.dev...),
+		Seeded: append([]bool(nil), c.seeded...),
+		BLoc:   c.bLoc, BEnc: c.bEnc, BGrp: c.bGrp, BPerf: c.bPerf,
+		Migrations: c.migrations, Repacks: c.repacks, Unplaced: c.unplaced,
+	})
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.Mean) != len(c.mean) || len(st.Dev) != len(c.dev) || len(st.Seeded) != len(c.seeded) {
+		return fmt.Errorf("vmc: state covers %d VMs, controller has %d", len(st.Mean), len(c.mean))
+	}
+	copy(c.mean, st.Mean)
+	copy(c.dev, st.Dev)
+	copy(c.seeded, st.Seeded)
+	c.bLoc, c.bEnc, c.bGrp, c.bPerf = st.BLoc, st.BEnc, st.BGrp, st.BPerf
+	c.migrations, c.repacks, c.unplaced = st.Migrations, st.Repacks, st.Unplaced
+	return nil
 }
 
 // Tick samples the demand estimator and, on VMC epochs, repacks the cluster.

@@ -22,6 +22,7 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/control"
 	"nopower/internal/obs"
+	"nopower/internal/state"
 )
 
 // minAllocation floors a VM's container so an idle VM can still wake up.
@@ -86,6 +87,47 @@ func (c *Controller) RRef(server int) float64 {
 
 // Allocation reports a VM's current container size (telemetry for tests).
 func (c *Controller) Allocation(vmID int) float64 { return c.loops[vmID].F }
+
+// ctrlState is the VMEC's serializable state: per-VM loop cursors, the
+// per-server broadcast targets, and the boot-detection latches.
+type ctrlState struct {
+	RRef, F []float64
+	Targets []float64
+	WasOn   []bool
+}
+
+// State implements the simulator's Snapshotter interface.
+func (c *Controller) State() ([]byte, error) {
+	st := ctrlState{
+		RRef:    make([]float64, len(c.loops)),
+		F:       make([]float64, len(c.loops)),
+		Targets: append([]float64(nil), c.targets...),
+		WasOn:   append([]bool(nil), c.wasOn...),
+	}
+	for i, loop := range c.loops {
+		st.RRef[i], st.F[i] = loop.RRef, loop.F
+	}
+	return state.Marshal(st)
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Controller) Restore(data []byte) error {
+	var st ctrlState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if len(st.RRef) != len(c.loops) || len(st.F) != len(c.loops) ||
+		len(st.Targets) != len(c.targets) || len(st.WasOn) != len(c.wasOn) {
+		return fmt.Errorf("vmec: state shape mismatch (%d loops / %d servers, have %d / %d)",
+			len(st.RRef), len(st.Targets), len(c.loops), len(c.targets))
+	}
+	for i, loop := range c.loops {
+		loop.RRef, loop.F = st.RRef[i], st.F[i]
+	}
+	copy(c.targets, st.Targets)
+	copy(c.wasOn, st.WasOn)
+	return nil
+}
 
 // Tick steps every resident VM loop and arbitrates each powered server's
 // frequency to cover the sum of its allocations.

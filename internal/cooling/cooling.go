@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"nopower/internal/cluster"
+	"nopower/internal/state"
 	"nopower/internal/thermal"
 )
 
@@ -217,4 +218,62 @@ func (m *Manager) Stats() (avgCoolingW, maxTempC float64, trips int) {
 		return 0, 0, 0
 	}
 	return m.coolingEnergy / float64(m.ticks), m.maxTempC, m.trips
+}
+
+// managerState is the zone manager's serializable state: per-server thermal
+// integrator states, the remembered operator budgets, the CRAC setpoint,
+// and the accumulated telemetry. Initialized distinguishes "never ticked"
+// (lazy init pending) from a genuinely empty zone.
+type managerState struct {
+	Initialized    bool
+	SupplyC        float64
+	OperatorCapGrp float64
+	OperatorCapLoc []float64
+	Temps          []thermal.State
+	CoolingEnergy  float64
+	MaxTempC       float64
+	Trips          int
+	Ticks          int
+}
+
+// State implements the simulator's Snapshotter interface.
+func (m *Manager) State() ([]byte, error) {
+	st := managerState{
+		Initialized:    m.states != nil,
+		SupplyC:        m.CRAC.SupplyC,
+		OperatorCapGrp: m.operatorCapGrp,
+		OperatorCapLoc: append([]float64(nil), m.operatorCapLoc...),
+		CoolingEnergy:  m.coolingEnergy,
+		MaxTempC:       m.maxTempC,
+		Trips:          m.trips,
+		Ticks:          m.ticks,
+	}
+	for _, s := range m.states {
+		st.Temps = append(st.Temps, *s)
+	}
+	return state.Marshal(st)
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (m *Manager) Restore(data []byte) error {
+	var st managerState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if !st.Initialized {
+		m.states, m.operatorCapLoc = nil, nil
+		m.operatorCapGrp = 0
+	} else {
+		m.states = make([]*thermal.State, len(st.Temps))
+		for i := range st.Temps {
+			s := st.Temps[i]
+			m.states[i] = &s
+		}
+		m.operatorCapGrp = st.OperatorCapGrp
+		m.operatorCapLoc = append([]float64(nil), st.OperatorCapLoc...)
+	}
+	m.CRAC.SupplyC = st.SupplyC
+	m.coolingEnergy, m.maxTempC = st.CoolingEnergy, st.MaxTempC
+	m.trips, m.ticks = st.Trips, st.Ticks
+	return nil
 }

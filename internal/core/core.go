@@ -32,6 +32,7 @@ import (
 	"nopower/internal/controllers/vmec"
 	"nopower/internal/cooling"
 	"nopower/internal/policy"
+	"nopower/internal/rng"
 	"nopower/internal/sim"
 	"nopower/internal/thermal"
 )
@@ -213,6 +214,10 @@ type Handles struct {
 	CAP     *sm.ElectricalCapper
 	Cooling *cooling.Manager
 	PM      *pm.Controller
+	// RNG is the stack's deterministic random source (serializable; feeds
+	// any stochastic policy). Registered with the engine as aux snapshot
+	// state under the name "rng".
+	RNG *rng.Source
 }
 
 // Build wires the stack onto a cluster and returns a runnable engine.
@@ -243,12 +248,16 @@ func Build(cl *cluster.Cluster, spec Spec) (*sim.Engine, *Handles, error) {
 		}
 	}
 
-	pol, err := policy.ByName(spec.Policy, rand.New(rand.NewSource(spec.Seed)))
+	// A serializable SplitMix64 source instead of math/rand's default: its
+	// state is 8 bytes, so a checkpoint captures and restores the exact
+	// position of any stochastic policy's stream.
+	src := rng.New(spec.Seed)
+	pol, err := policy.ByName(spec.Policy, rand.New(src))
 	if err != nil {
 		return nil, nil, err
 	}
 
-	h := &Handles{}
+	h := &Handles{RNG: src}
 	var stack []sim.Controller
 
 	if spec.EnableCooling {
@@ -400,7 +409,9 @@ func Build(cl *cluster.Cluster, spec Spec) (*sim.Engine, *Handles, error) {
 		}
 	}
 
-	return sim.New(cl, stack...), h, nil
+	eng := sim.New(cl, stack...)
+	eng.RegisterAux("rng", src)
+	return eng, h, nil
 }
 
 func orDefault(v *bool, def bool) bool {

@@ -96,23 +96,22 @@ type ChaosRow struct {
 	Disabled int
 }
 
-// RunChaos executes one scenario against one stack: the fault schedule is
-// compiled into an EventInjector registered ahead of the stack (so the
-// controllers of a tick see the perturbed state, like any workload change),
-// the crash target — if any — is wrapped with the chaos crasher, and the
-// engine runs under o.FaultPolicy.
-func RunChaos(ctx context.Context, sc Scenario, spec core.Spec, cse ChaosCase, o Observers) (ChaosRow, error) {
-	sc = sc.normalized()
+// newChaosEngine builds the engine for one (scenario, spec, chaos case)
+// triple: the fault schedule compiled into an EventInjector ahead of the
+// stack, the crash target wrapped with the chaos crasher. sc must already be
+// normalized. The replay harness rebuilds engines through the same path so a
+// resumed chaos run is structurally identical to the one it continues.
+func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, error) {
 	cl, err := sc.BuildCluster()
 	if err != nil {
-		return ChaosRow{}, err
+		return nil, err
 	}
 	if spec.Seed == 0 {
 		spec.Seed = sc.Seed
 	}
 	eng, _, err := core.Build(cl, spec)
 	if err != nil {
-		return ChaosRow{}, err
+		return nil, err
 	}
 	if cse.Events != nil {
 		inj := sim.NewEventInjector(cse.Events(sc.Ticks, sc.Seed)...)
@@ -123,13 +122,28 @@ func RunChaos(ctx context.Context, sc Scenario, spec core.Spec, cse ChaosCase, o
 		// crash; the run then doubles as its own fault-free anchor.
 		chaos.CrashByName(eng, cse.Crash, crashTick(sc.Ticks))
 	}
-	if o.Series != nil {
-		eng.OnTick = o.Series.Observe
+	return eng, nil
+}
+
+// RunChaos executes one scenario against one stack: the fault schedule is
+// compiled into an EventInjector registered ahead of the stack (so the
+// controllers of a tick see the perturbed state, like any workload change),
+// the crash target — if any — is wrapped with the chaos crasher, and the
+// engine runs under o.FaultPolicy.
+func RunChaos(ctx context.Context, sc Scenario, spec core.Spec, cse ChaosCase, o Observers) (ChaosRow, error) {
+	sc = sc.normalized()
+	eng, err := newChaosEngine(sc, spec, cse)
+	if err != nil {
+		return ChaosRow{}, err
 	}
-	eng.Tracer = o.Tracer
-	eng.Metrics = o.Metrics
-	eng.FaultPolicy = o.FaultPolicy
-	col, err := eng.RunContext(ctx, sc.Ticks)
+	remaining, err := o.attach(eng, sc.Ticks)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	col, err := eng.RunContext(ctx, remaining)
+	if ferr := o.finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return ChaosRow{}, fmt.Errorf("chaos %s: %w", cse.Name, err)
 	}

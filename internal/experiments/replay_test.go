@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"nopower/internal/core"
+	"nopower/internal/sim"
+	"nopower/internal/tracegen"
+)
+
+// replayScenario is the golden-test setup: the paper's blade hardware and
+// high-utilization mix, shortened to keep the suite fast.
+func replayScenario(ticks int) Scenario {
+	return Scenario{Model: "BladeA", Mix: tracegen.Mix60HH, Budgets: Base201510(),
+		Ticks: ticks, Seed: 42}
+}
+
+// shortPeriods compresses the control hierarchy so every controller gets
+// multiple epochs — including a VMC repack — inside a short run.
+func shortPeriods() core.Periods { return core.Periods{EC: 1, SM: 2, EM: 5, GM: 10, VMC: 20} }
+
+// TestReplayGoldenAllStacks is the determinism contract's golden test: for
+// every registered stack preset, a run killed mid-way and resumed from its
+// (disk-format round-tripped) checkpoint must reproduce the uninterrupted
+// run's per-tick series bitwise.
+func TestReplayGoldenAllStacks(t *testing.T) {
+	const ticks = 90
+	sc := replayScenario(ticks)
+	for _, name := range core.StackNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := core.SpecByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Periods = shortPeriods()
+			row, err := ReplayCheck(context.Background(), sc, spec, ChaosCase{Name: "fault-free"}, ticks/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Identical {
+				t.Errorf("stack %s: resumed run diverged from the uninterrupted run", name)
+			}
+			if row.SnapshotBytes <= 0 {
+				t.Error("empty snapshot")
+			}
+			// The comparison must cover the whole run, not a trivially empty
+			// series: the restored collector counts the full tick span.
+			if row.Resumed.Ticks != ticks {
+				t.Errorf("resumed run observed %d ticks, want %d", row.Resumed.Ticks, ticks)
+			}
+		})
+	}
+}
+
+// TestReplayGoldenSpecVariants covers the stateful corners the presets miss:
+// stochastic and history-keeping division policies, the cooling zone manager,
+// and the electrical capper.
+func TestReplayGoldenSpecVariants(t *testing.T) {
+	const ticks = 90
+	sc := replayScenario(ticks)
+	variants := []struct {
+		name string
+		spec func() core.Spec
+	}{
+		{"policy-random", func() core.Spec {
+			s := core.Coordinated()
+			s.Policy = "random"
+			return s
+		}},
+		{"policy-history", func() core.Spec {
+			s := core.Coordinated()
+			s.Policy = "history"
+			return s
+		}},
+		{"cooling", func() core.Spec {
+			s := core.Coordinated()
+			s.EnableCooling = true
+			return s
+		}},
+		{"electrical-cap", func() core.Spec {
+			s := core.Coordinated()
+			s.ElectricalCap = 200
+			return s
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			spec := v.spec()
+			spec.Periods = shortPeriods()
+			row, err := ReplayCheck(context.Background(), sc, spec, ChaosCase{Name: "fault-free"}, ticks/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Identical {
+				t.Errorf("%s: resumed run diverged", v.name)
+			}
+		})
+	}
+}
+
+// TestReplayGoldenKillPoints varies where the run is killed: right after the
+// first tick, just before a VMC epoch, on one, and near the end.
+func TestReplayGoldenKillPoints(t *testing.T) {
+	const ticks = 90
+	sc := replayScenario(ticks)
+	for _, kill := range []int{1, 19, 20, 60, 89} {
+		kill := kill
+		t.Run(fmt.Sprintf("kill-%d", kill), func(t *testing.T) {
+			t.Parallel()
+			spec := core.Coordinated()
+			spec.Periods = shortPeriods()
+			row, err := ReplayCheck(context.Background(), sc, spec, ChaosCase{Name: "fault-free"}, kill)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !row.Identical {
+				t.Errorf("kill at %d: resumed run diverged", kill)
+			}
+		})
+	}
+}
+
+// TestReplayGoldenChaosCases runs the full E16 sweep — every fault-injection
+// scenario under both headline stacks — at test scale and requires every
+// resume to be bitwise identical, including runs whose controller crash or
+// fault window lands before or after the kill point.
+func TestReplayGoldenChaosCases(t *testing.T) {
+	rows, err := ReplayData(context.Background(), Options{Ticks: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(ChaosCases()); len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s/%s: resumed run diverged from the uninterrupted run", r.Scenario, r.Stack)
+		}
+	}
+}
+
+// TestReplayGoldenDemandSurge pins the mutated-trace path: a ScaleDemand
+// event before the kill rewrites every demand trace in place, so the
+// snapshot must capture the scaled demand (pristine traces are skipped and
+// rebuilt); the event after the kill replays from the rebuilt schedule.
+func TestReplayGoldenDemandSurge(t *testing.T) {
+	const ticks = 90
+	sc := replayScenario(ticks)
+	spec := core.Coordinated()
+	spec.Periods = shortPeriods()
+	surge := ChaosCase{
+		Name: "demand-surge",
+		Events: func(ticks int, seed int64) []sim.Event {
+			return []sim.Event{sim.ScaleDemand(20, 1.5), sim.ScaleDemand(70, 0.8)}
+		},
+	}
+	row, err := ReplayCheck(context.Background(), sc, spec, surge, ticks/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Identical {
+		t.Error("resumed run diverged after an in-place demand rewrite")
+	}
+}
+
+func TestReplayCheckRejectsBadKillTick(t *testing.T) {
+	sc := replayScenario(50)
+	for _, kill := range []int{-1, 0, 50, 99} {
+		if _, err := ReplayCheck(context.Background(), sc, core.Coordinated(), ChaosCase{}, kill); err == nil {
+			t.Errorf("kill tick %d accepted", kill)
+		}
+	}
+}
+
+func TestReplayExperimentRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "replay" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replay missing from Names(): %v", Names())
+	}
+	tables, err := RunExperiment(context.Background(), "replay", WithTicks(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) != 2*len(ChaosCases()) {
+		t.Errorf("replay tables = %d with %d rows", len(tables), len(tables[0].Rows))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"nopower/internal/checkpoint"
 	"nopower/internal/cluster"
 	"nopower/internal/core"
 	"nopower/internal/metrics"
@@ -236,6 +237,54 @@ type Observers struct {
 	// this bundle because, like the attachments, it is a per-run engine knob
 	// orthogonal to what is being simulated.
 	FaultPolicy sim.FaultPolicy
+	// Checkpoint, when non-nil, writes periodic crash-safe snapshots (and a
+	// post-mortem one on a run-failing panic) through the attached saver.
+	Checkpoint *checkpoint.Saver
+	// Resume, when non-nil, restores this checkpoint onto the freshly built
+	// engine and runs only the remaining ticks. The run must be configured
+	// identically to the one that wrote the checkpoint (same scenario, spec,
+	// and observers) — the restore validates the component shape and the
+	// determinism contract guarantees a bit-identical continuation.
+	Resume *checkpoint.File
+}
+
+// attach wires the bundle onto a freshly built engine and returns the number
+// of ticks left to run (sc.Ticks, minus the resume point when resuming).
+func (o Observers) attach(eng *sim.Engine, totalTicks int) (int, error) {
+	if o.Series != nil {
+		eng.OnTick = o.Series.Observe
+		// The recorder is run state: a resumed run must continue the series,
+		// not restart it, for the bitwise-replay contract to cover it.
+		eng.RegisterAux("series", o.Series)
+	}
+	eng.Tracer = o.Tracer
+	eng.Metrics = o.Metrics
+	eng.FaultPolicy = o.FaultPolicy
+	if o.Checkpoint != nil {
+		if err := o.Checkpoint.Attach(eng); err != nil {
+			return 0, err
+		}
+	}
+	if o.Resume == nil {
+		return totalTicks, nil
+	}
+	if err := eng.RestoreSnapshot(o.Resume.State); err != nil {
+		return 0, fmt.Errorf("experiments: resume: %w", err)
+	}
+	remaining := totalTicks - eng.Tick()
+	if remaining < 0 {
+		return 0, fmt.Errorf("experiments: checkpoint tick %d is past the scenario end %d", eng.Tick(), totalTicks)
+	}
+	return remaining, nil
+}
+
+// finish joins the run's background checkpoint writes and surfaces the
+// first write failure. Call it after the engine run, whatever its outcome.
+func (o Observers) finish() error {
+	if o.Checkpoint == nil {
+		return nil
+	}
+	return o.Checkpoint.Flush()
 }
 
 // RunObserved is RunVsBaseline with observability attachments: a time-series
@@ -253,13 +302,14 @@ func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	if err != nil {
 		return metrics.Result{}, err
 	}
-	if o.Series != nil {
-		eng.OnTick = o.Series.Observe
+	remaining, err := o.attach(eng, sc.Ticks)
+	if err != nil {
+		return metrics.Result{}, err
 	}
-	eng.Tracer = o.Tracer
-	eng.Metrics = o.Metrics
-	eng.FaultPolicy = o.FaultPolicy
-	col, err := eng.RunContext(ctx, sc.Ticks)
+	col, err := eng.RunContext(ctx, remaining)
+	if ferr := o.finish(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return metrics.Result{}, err
 	}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"nopower/internal/cluster"
+	"nopower/internal/state"
 )
 
 // Collector folds per-tick cluster observations into running totals.
@@ -70,6 +71,49 @@ func (c *Collector) Observe(cl *cluster.Cluster) {
 		c.violGM++
 	}
 	c.onServerSum += cl.OnCount()
+}
+
+// CollectorState mirrors the collector's unexported accumulators for the
+// checkpoint subsystem (DESIGN.md §10). All counters are exact — integers
+// and float64 sums — so a restored collector finalizes bit-identically.
+type CollectorState struct {
+	Ticks       int
+	Energy      float64
+	DemandWork  float64
+	Delivered   float64
+	OnServerSum int
+	ViolSM      int
+	ServerObs   int
+	ViolEM      int
+	EncObs      int
+	ViolGM      int
+	GrpObs      int
+	PeakPower   float64
+	ViolSMMass  float64
+}
+
+// State implements the simulator's Snapshotter interface (structurally —
+// this package cannot import sim, which imports it).
+func (c *Collector) State() ([]byte, error) {
+	return state.Marshal(CollectorState{
+		Ticks: c.ticks, Energy: c.energy, DemandWork: c.demandWork,
+		Delivered: c.delivered, OnServerSum: c.onServerSum,
+		ViolSM: c.violSM, ServerObs: c.serverObs, ViolEM: c.violEM, EncObs: c.encObs,
+		ViolGM: c.violGM, GrpObs: c.grpObs, PeakPower: c.peakPower, ViolSMMass: c.violSMMass,
+	})
+}
+
+// Restore implements the simulator's Snapshotter interface.
+func (c *Collector) Restore(data []byte) error {
+	var st CollectorState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	c.ticks, c.energy, c.demandWork, c.delivered = st.Ticks, st.Energy, st.DemandWork, st.Delivered
+	c.onServerSum = st.OnServerSum
+	c.violSM, c.serverObs, c.violEM, c.encObs = st.ViolSM, st.ServerObs, st.ViolEM, st.EncObs
+	c.violGM, c.grpObs, c.peakPower, c.violSMMass = st.ViolGM, st.GrpObs, st.PeakPower, st.ViolSMMass
+	return nil
 }
 
 // Result is the final evaluation summary of one run.

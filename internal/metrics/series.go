@@ -4,9 +4,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"nopower/internal/cluster"
+	"nopower/internal/state"
 )
 
 // Series records per-tick time series of the headline signals, for plotting
@@ -91,6 +93,57 @@ func (s *Series) Observe(k int, cl *cluster.Cluster) {
 
 // Len returns the number of recorded samples.
 func (s *Series) Len() int { return len(s.Ticks) }
+
+// State implements the simulator's Snapshotter interface (structurally):
+// the recorded prefix travels inside snapshots so a resumed run appends to
+// it and ends bit-identical to the uninterrupted series.
+func (s *Series) State() ([]byte, error) { return state.Marshal(*s) }
+
+// Restore implements the simulator's Snapshotter interface.
+func (s *Series) Restore(data []byte) error {
+	var tmp Series
+	if err := state.Unmarshal(data, &tmp); err != nil {
+		return err
+	}
+	*s = tmp
+	return nil
+}
+
+// BitEqual reports whether two series are sample-for-sample bitwise
+// identical — the checkpoint subsystem's deterministic-replay bar, stricter
+// than float equality (it distinguishes +0 from −0 and compares NaNs by
+// payload via math.Float64bits).
+func (s *Series) BitEqual(o *Series) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	intEq := func(a, b []int) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	bitEq := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return intEq(s.Ticks, o.Ticks) && intEq(s.ServersOn, o.ServersOn) && intEq(s.ViolSM, o.ViolSM) &&
+		bitEq(s.PowerW, o.PowerW) && bitEq(s.PerfLoss, o.PerfLoss) && bitEq(s.TempProxy, o.TempProxy) &&
+		bitEq(s.HeadroomGrp, o.HeadroomGrp) && bitEq(s.HeadroomEnc, o.HeadroomEnc) &&
+		bitEq(s.HeadroomLoc, o.HeadroomLoc)
+}
 
 // WriteCSV emits the series with a header row.
 func (s *Series) WriteCSV(w io.Writer) error {

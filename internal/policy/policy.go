@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"nopower/internal/state"
 )
 
 // Child is one budget recipient as seen by a division policy.
@@ -35,6 +37,15 @@ type Division interface {
 	Name() string
 	// Divide computes the per-child budget recommendations.
 	Divide(total float64, children []Child) []float64
+}
+
+// Stateful is implemented by division policies that accumulate state across
+// epochs (History's EWMA). The checkpoint subsystem captures it through the
+// owning controller so a resumed run divides budgets identically. Stateless
+// policies simply don't implement it.
+type Stateful interface {
+	PolicyState() ([]byte, error)
+	RestorePolicyState(data []byte) error
 }
 
 // floorFrac keeps proportional-style policies from starving a child whose
@@ -187,6 +198,37 @@ func (h *History) Divide(total float64, children []Child) []float64 {
 		sum += w
 	}
 	return byWeight(total, weights, sum)
+}
+
+// historyEntry is one (child, EWMA) pair; the state is stored as a sorted
+// slice rather than the live map so the encoding is byte-deterministic
+// (npckpt diff compares component blobs byte-wise).
+type historyEntry struct {
+	ID   int
+	EWMA float64
+}
+
+// PolicyState implements Stateful.
+func (h *History) PolicyState() ([]byte, error) {
+	entries := make([]historyEntry, 0, len(h.ewma))
+	for id, v := range h.ewma {
+		entries = append(entries, historyEntry{ID: id, EWMA: v})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].ID < entries[b].ID })
+	return state.Marshal(entries)
+}
+
+// RestorePolicyState implements Stateful.
+func (h *History) RestorePolicyState(data []byte) error {
+	var entries []historyEntry
+	if err := state.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	h.ewma = make(map[int]float64, len(entries))
+	for _, e := range entries {
+		h.ewma[e.ID] = e.EWMA
+	}
+	return nil
 }
 
 // byWeight distributes total proportionally to weights (all shares are

@@ -1,0 +1,93 @@
+// Package rng provides the deterministic randomness the checkpoint/restore
+// subsystem requires: a serializable math/rand-compatible source whose entire
+// state is one word (so snapshots capture it exactly), and stateless mixing
+// helpers that derive per-(tick, index) uniforms without any stream to lose.
+//
+// The stdlib's rand.NewSource state cannot be extracted, which makes resumed
+// runs diverge from uninterrupted ones whenever a stochastic policy draws
+// from it. Source replaces it everywhere a simulation needs randomness; the
+// generator is SplitMix64 (Steele, Lea & Flood 2014), a 64-bit counter-based
+// PRNG with a single word of state and full-period output.
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Source is a serializable SplitMix64 PRNG. It implements rand.Source64, so
+// rand.New(src) layers the stdlib's distributions on top, and it implements
+// the simulator's Snapshotter interface (State/Restore), so the engine can
+// capture and reinstate the stream cursor bit-exactly.
+type Source struct {
+	s uint64
+}
+
+// New seeds a source. Distinct seeds yield decorrelated streams (the seed is
+// passed through one mix round before use).
+func New(seed int64) *Source {
+	src := &Source{}
+	src.Seed(seed)
+	return src
+}
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.s = mix64(uint64(seed)) }
+
+// Uint64 implements rand.Source64: one SplitMix64 step.
+func (s *Source) Uint64() uint64 {
+	s.s += 0x9e3779b97f4a7c15
+	return mix64(s.s)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// State implements the simulator's Snapshotter: 8 bytes, big-endian.
+func (s *Source) State() ([]byte, error) {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, s.s)
+	return out, nil
+}
+
+// Restore implements the simulator's Snapshotter.
+func (s *Source) Restore(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("rng: state is %d bytes, want 8", len(data))
+	}
+	s.s = binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// mix64 is the SplitMix64 output function — also a strong stand-alone bit
+// mixer, which Mix and Uniform reuse for stateless derivation.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix hashes a tuple of words into one well-distributed word. Use it to
+// derive independent values from (seed, tick, index) coordinates: unlike a
+// sequential stream, the result depends only on the inputs, so replaying any
+// suffix of a run reproduces it exactly.
+func Mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h = mix64(h ^ v)
+	}
+	return h
+}
+
+// Uniform returns a uniform float64 in [0, 1) determined purely by the seed
+// and the coordinate tuple — the stateless replacement for "draw the next
+// value from a shared stream" in replay-exact fault injection.
+func Uniform(seed int64, coords ...int) float64 {
+	vals := make([]uint64, 0, len(coords)+1)
+	vals = append(vals, uint64(seed))
+	for _, c := range coords {
+		vals = append(vals, uint64(int64(c)))
+	}
+	// 53 high bits → the unit interval at full float64 resolution.
+	return float64(Mix(vals...)>>11) / (1 << 53)
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"nopower/internal/cluster"
+	"nopower/internal/state"
 )
 
 // Event is a scheduled perturbation of the running system — the dynamism
@@ -53,6 +54,33 @@ func (e *EventInjector) Tick(k int, cl *cluster.Cluster) {
 
 // Fired lists the events applied so far, as "tick:name" strings.
 func (e *EventInjector) Fired() []string { return append([]string(nil), e.fired...) }
+
+// injectorState is the injector's serializable cursor. The schedule itself
+// is configuration (rebuilt by the scenario); only progress is state.
+type injectorState struct {
+	Next  int
+	Fired []string
+}
+
+// State implements Snapshotter: the schedule cursor and fired log.
+func (e *EventInjector) State() ([]byte, error) {
+	return state.Marshal(injectorState{Next: e.next, Fired: append([]string(nil), e.fired...)})
+}
+
+// Restore implements Snapshotter. The injector must have been rebuilt with
+// the same schedule; a cursor past the schedule end is rejected.
+func (e *EventInjector) Restore(data []byte) error {
+	var st injectorState
+	if err := state.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	if st.Next < 0 || st.Next > len(e.events) {
+		return fmt.Errorf("sim: events cursor %d outside schedule of %d", st.Next, len(e.events))
+	}
+	e.next = st.Next
+	e.fired = append([]string(nil), st.Fired...)
+	return nil
+}
 
 // FailServer returns an event that hard-fails a server: it goes dark
 // (power off) and its VMs are stranded until a consolidator re-places them.

@@ -64,8 +64,18 @@ type Engine struct {
 	// disable the controller and continue in degraded mode (FaultDegrade),
 	// or re-raise the panic (FaultPropagate). See fault.go.
 	FaultPolicy FaultPolicy
+	// CheckpointEvery, when positive, invokes OnCheckpoint with a full
+	// Snapshot every n completed ticks (after ticks n, 2n, …). Zero disables
+	// checkpointing with no per-tick overhead.
+	CheckpointEvery int
+	// OnCheckpoint receives periodic snapshots (see CheckpointEvery) and, on
+	// a run-failing controller panic, one final best-effort snapshot marked
+	// MidTick. A returned error fails the run — a checkpointed run that can
+	// no longer checkpoint is losing the very durability it was asked for.
+	OnCheckpoint func(*Snapshot) error
 
 	tick           int
+	aux            []auxEntry
 	obsWired       bool
 	ctl            []ctlInstr
 	disabled       []bool // controllers knocked out by FaultDegrade
@@ -76,6 +86,12 @@ type Engine struct {
 	mViolSM        *obs.Counter
 	mViolEM        *obs.Counter
 	mViolGM        *obs.Counter
+}
+
+// auxEntry is one auxiliary Snapshotter registered via RegisterAux.
+type auxEntry struct {
+	name string
+	s    Snapshotter
 }
 
 // ctlInstr caches one controller's metric handles so the per-tick hot path
@@ -219,6 +235,7 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			if perr != nil {
 				e.recordPanic(perr)
 				if e.FaultPolicy != FaultDegrade {
+					e.checkpointOnPanic()
 					return nil, perr
 				}
 				e.disable(ci, k)
@@ -239,6 +256,9 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			}
 		}
 		e.tick++
+		if err := e.checkpointDue(); err != nil {
+			return nil, err
+		}
 	}
 	return e.Collector, nil
 }

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/state"
+	"nopower/internal/testutil"
+)
+
+// counter is a minimal snapshottable controller: it counts its own ticks.
+type counter struct {
+	name  string
+	ticks int
+}
+
+func (c *counter) Name() string                    { return c.name }
+func (c *counter) Tick(k int, cl *cluster.Cluster) { c.ticks++ }
+func (c *counter) State() ([]byte, error)          { return state.Marshal(c.ticks) }
+func (c *counter) Restore(data []byte) error       { return state.Unmarshal(data, &c.ticks) }
+
+// bare is a controller with no Snapshotter implementation.
+type bare struct{}
+
+func (bare) Name() string                    { return "bare" }
+func (bare) Tick(k int, cl *cluster.Cluster) {}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 3, 100, 0.4)
+	c1, c2 := &counter{name: "a"}, &counter{name: "b"}
+	aux := &counter{name: "x"}
+	eng := New(cl, c1, c2)
+	eng.RegisterAux("x", aux)
+	aux.ticks = 99
+	if _, err := eng.Run(7); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Tick != 7 {
+		t.Fatalf("snapshot tick = %d, want 7", snap.Tick)
+	}
+
+	// A fresh engine over an identical topology.
+	cl2 := testutil.StandaloneCluster(t, 3, 100, 0.4)
+	d1, d2 := &counter{name: "a"}, &counter{name: "b"}
+	aux2 := &counter{name: "x"}
+	eng2 := New(cl2, d1, d2)
+	eng2.RegisterAux("x", aux2)
+	if err := eng2.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Tick() != 7 {
+		t.Errorf("restored tick = %d, want 7", eng2.Tick())
+	}
+	if d1.ticks != 7 || d2.ticks != 7 {
+		t.Errorf("controller state not restored: %d, %d", d1.ticks, d2.ticks)
+	}
+	if aux2.ticks != 99 {
+		t.Errorf("aux state not restored: %d", aux2.ticks)
+	}
+	if cl2.LastTick != cl.LastTick {
+		t.Errorf("cluster cursor %d, want %d", cl2.LastTick, cl.LastTick)
+	}
+}
+
+func TestSnapshotRequiresSnapshotterControllers(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 50, 0.4)
+	eng := New(cl, bare{})
+	if _, err := eng.Snapshot(); err == nil {
+		t.Error("Snapshot of a non-snapshottable stack succeeded")
+	}
+}
+
+func TestRestoreRefusesMidTickAndNil(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 50, 0.4)
+	eng := New(cl)
+	if err := eng.RestoreSnapshot(nil); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.MidTick = true
+	if err := eng.RestoreSnapshot(snap); err == nil {
+		t.Error("mid-tick snapshot accepted as a resume point")
+	}
+}
+
+func TestRestoreRejectsShapeMismatch(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 50, 0.4)
+	eng := New(cl, &counter{name: "a"})
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("controller-count", func(t *testing.T) {
+		cl2 := testutil.StandaloneCluster(t, 2, 50, 0.4)
+		eng2 := New(cl2, &counter{name: "a"}, &counter{name: "b"})
+		if err := eng2.RestoreSnapshot(snap); err == nil {
+			t.Error("mismatched controller count accepted")
+		}
+	})
+	t.Run("controller-name", func(t *testing.T) {
+		cl2 := testutil.StandaloneCluster(t, 2, 50, 0.4)
+		eng2 := New(cl2, &counter{name: "z"})
+		if err := eng2.RestoreSnapshot(snap); err == nil {
+			t.Error("mismatched controller name accepted")
+		}
+	})
+	t.Run("cluster-topology", func(t *testing.T) {
+		cl2 := testutil.StandaloneCluster(t, 5, 50, 0.4)
+		eng2 := New(cl2, &counter{name: "a"})
+		if err := eng2.RestoreSnapshot(snap); err == nil {
+			t.Error("mismatched topology accepted")
+		}
+	})
+	t.Run("aux-missing", func(t *testing.T) {
+		cl2 := testutil.StandaloneCluster(t, 2, 50, 0.4)
+		eng2 := New(cl2, &counter{name: "a"})
+		eng2.RegisterAux("x", &counter{name: "x"})
+		if err := eng2.RestoreSnapshot(snap); err == nil {
+			t.Error("snapshot without the registered aux accepted")
+		}
+	})
+}
+
+func TestRestoreValidatesBeforeMutating(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 50, 0.4)
+	c := &counter{name: "a"}
+	eng := New(cl, c)
+	if _, err := eng.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Controllers[0].Name = "other" // sabotage the shape
+	before := c.ticks
+	if err := eng.RestoreSnapshot(snap); err == nil {
+		t.Fatal("sabotaged snapshot accepted")
+	}
+	if c.ticks != before || eng.Tick() != 5 {
+		t.Error("failed restore mutated the engine")
+	}
+}
+
+func TestCheckpointEveryFiresOnBoundaries(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.4)
+	eng := New(cl, &counter{name: "a"})
+	var ticks []int
+	eng.CheckpointEvery = 5
+	eng.OnCheckpoint = func(s *Snapshot) error {
+		if s.MidTick {
+			t.Error("periodic checkpoint marked mid-tick")
+		}
+		ticks = append(ticks, s.Tick)
+		return nil
+	}
+	if _, err := eng.Run(12); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{5, 10}
+	if fmt.Sprint(ticks) != fmt.Sprint(want) {
+		t.Errorf("checkpoint ticks = %v, want %v", ticks, want)
+	}
+}
+
+func TestCheckpointCallbackErrorFailsRun(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.4)
+	eng := New(cl, &counter{name: "a"})
+	eng.CheckpointEvery = 3
+	boom := errors.New("disk full")
+	eng.OnCheckpoint = func(s *Snapshot) error { return boom }
+	_, err := eng.Run(10)
+	if !errors.Is(err, boom) {
+		t.Errorf("run error = %v, want the checkpoint failure", err)
+	}
+}
+
+// panicker detonates at a chosen tick.
+type panicker struct{ at int }
+
+func (p *panicker) Name() string { return "panicker" }
+func (p *panicker) Tick(k int, cl *cluster.Cluster) {
+	if k == p.at {
+		panic("boom")
+	}
+}
+func (p *panicker) State() ([]byte, error)    { return nil, nil }
+func (p *panicker) Restore(data []byte) error { return nil }
+
+func TestCheckpointOnPanicWritesMidTickSnapshot(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 100, 0.4)
+	eng := New(cl, &panicker{at: 4})
+	var got *Snapshot
+	eng.OnCheckpoint = func(s *Snapshot) error { got = s; return nil }
+	if _, err := eng.Run(10); err == nil {
+		t.Fatal("run survived the panic under FaultFail")
+	}
+	if got == nil {
+		t.Fatal("no checkpoint-on-panic snapshot")
+	}
+	if !got.MidTick {
+		t.Error("panic snapshot not marked mid-tick")
+	}
+	if got.Tick != 4 {
+		t.Errorf("panic snapshot tick = %d, want 4 (the failed tick)", got.Tick)
+	}
+	if err := eng.RestoreSnapshot(got); err == nil {
+		t.Error("mid-tick panic snapshot accepted as a resume point")
+	}
+}

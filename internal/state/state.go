@@ -1,0 +1,34 @@
+// Package state provides the tiny serialization helpers every snapshottable
+// component shares: gob-encode a component's exported state struct into an
+// opaque []byte and back. Keeping the helpers in one leaf package lets the
+// controllers, the plant, and the metrics pipeline implement the simulator's
+// Snapshotter interface without importing the simulator (or each other).
+//
+// gob is the right codec for the determinism contract of DESIGN.md §10:
+// float64 values round-trip bit-exactly, and for map-free state structs the
+// encoding itself is byte-deterministic, which lets npckpt diff snapshots
+// component by component.
+package state
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Marshal gob-encodes a component state value.
+func Marshal(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, fmt.Errorf("state: encode %T: %w", v, err)
+	}
+	return b.Bytes(), nil
+}
+
+// Unmarshal decodes a Marshal-produced blob into v (a pointer).
+func Unmarshal(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("state: decode %T: %w", v, err)
+	}
+	return nil
+}

@@ -21,6 +21,11 @@ type Trace struct {
 	Class string
 	// Demand holds one sample per tick, as a fraction of full-speed capacity.
 	Demand []float64
+	// Mutated records that a runtime event rewrote Demand in place (Scale).
+	// Checkpoints skip serializing pristine demand — a cluster rebuilt from
+	// the same scenario already has it — so every runtime in-place mutator
+	// must set this flag.
+	Mutated bool
 }
 
 // Len returns the number of samples.
@@ -50,7 +55,8 @@ func (t *Trace) Validate() error {
 
 // Clone returns a deep copy.
 func (t *Trace) Clone() *Trace {
-	return &Trace{Name: t.Name, Class: t.Class, Demand: append([]float64(nil), t.Demand...)}
+	return &Trace{Name: t.Name, Class: t.Class,
+		Demand: append([]float64(nil), t.Demand...), Mutated: t.Mutated}
 }
 
 // Clip caps every sample at max, in place, and returns the trace.
@@ -68,6 +74,7 @@ func (t *Trace) Scale(s float64) *Trace {
 	for i := range t.Demand {
 		t.Demand[i] *= s
 	}
+	t.Mutated = true
 	return t
 }
 

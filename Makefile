@@ -19,8 +19,10 @@ test:
 	$(GO) test ./...
 
 # verify is the baseline everything-compiles-and-passes gate: clean
-# formatting, vet, a full build, and the test suite — the checks a
-# reviewer assumes are green before reading a line.
+# formatting, vet, a full build, the test suite, and a one-iteration smoke
+# of the 10k-fleet benchmark (so the sharded scale path cannot rot between
+# full bench runs) — the checks a reviewer assumes are green before
+# reading a line.
 verify:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -29,12 +31,16 @@ verify:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkScale10k' -benchtime 1x .
 
-# race is the gate for the parallel experiment runner: every experiment
-# test forces the concurrent worker-pool path, so this catches data races
-# in shared caches, models, and the metrics pipeline. verify and the obs
-# coverage floor ride along so one target stays the pre-merge gate.
+# race is the gate for the parallel experiment runner and the sharded tick
+# engine: every experiment test forces the concurrent worker-pool path, and
+# the determinism test runs the sharded engine's worker goroutines under the
+# detector, so this catches data races in shared caches, models, the metrics
+# pipeline, and the per-tick shard fan-out. verify and the obs coverage
+# floor ride along so one target stays the pre-merge gate.
 race: verify cover
+	$(GO) test -race -count=1 -run 'TestShardDeterminism' ./internal/sim
 	$(GO) test -race ./...
 
 bench:

@@ -198,9 +198,52 @@ func benchCluster(b *testing.B) *cluster.Cluster {
 // BenchmarkClusterAdvance measures one plant tick for 180 servers.
 func BenchmarkClusterAdvance(b *testing.B) {
 	cl := benchCluster(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cl.Advance(i)
+	}
+}
+
+// BenchmarkScale10k is the E17 wall-clock companion: one full simulated run
+// over the synthetic 10k-server fleet (coordinated stack minus the VMC, like
+// the scale experiment), serial vs one shard per CPU. The scale experiment
+// verifies the runs are bitwise identical; this benchmark measures what the
+// sharding buys. Trace synthesis and cluster construction happen outside the
+// timer — the tick loop is the subject.
+func BenchmarkScale10k(b *testing.B) {
+	const ticks = 60
+	set, err := tracegen.BuildMix(tracegen.ScaleMix(10000), ticks, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiments.Scenario{Model: "BladeA", Budgets: experiments.Base201510(),
+		Ticks: ticks, Seed: 42, Traces: set}
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := sc.BuildCluster()
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec := core.NoVMC()
+				spec.Shards = shards
+				eng, _, err := core.Build(cl, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Run(ticks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -224,6 +267,7 @@ func BenchmarkBinpack180(b *testing.B) {
 	}
 	p := binpack.Problem{Items: items, Bins: bins, EnclosureBudgets: enc,
 		GroupBudget: 14400, MigrationWeight: 5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := binpack.Solve(p); err != nil {
@@ -234,6 +278,7 @@ func BenchmarkBinpack180(b *testing.B) {
 
 // BenchmarkTracegen180 measures synthesizing the full 180-trace mix.
 func BenchmarkTracegen180(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := tracegen.BuildMix(tracegen.Mix180, 1000, 42); err != nil {
 			b.Fatal(err)
@@ -244,6 +289,7 @@ func BenchmarkTracegen180(b *testing.B) {
 // BenchmarkECSteadyPower measures the packer's feasibility-curve evaluation.
 func BenchmarkECSteadyPower(b *testing.B) {
 	m := model.ServerB()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.ECSteadyPower(0.75, float64(i%100)/100)

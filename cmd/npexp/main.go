@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ticks     = fs.Int("ticks", experiments.DefaultTicks, "simulation length per run in ticks")
 		seed      = fs.Int64("seed", 42, "trace/policy seed")
 		parallel  = fs.Int("parallel", 0, "max concurrent simulation jobs (0 = GOMAXPROCS, 1 = serial)")
+		shards    = fs.Int("shards", 0, "goroutines per simulation tick inside each job (0 = serial; results are bit-identical at any value)")
 		timeout   = fs.Duration("timeout", 0, "cancel the batch after this duration (0 = none)")
 		markdown  = fs.Bool("markdown", false, "render Markdown tables")
 		jsonOut   = fs.Bool("json", false, "emit one JSON document with every table")
@@ -97,10 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"addr", srv.Addr.String(), "paths", "/metrics /healthz /debug/pprof/")
 	}
 
+	// The default reaches scenarios that experiments build internally
+	// (baselines, chaos runs); the option covers the explicit path.
+	experiments.SetDefaultShards(*shards)
 	opts := []experiments.Option{
 		experiments.WithTicks(*ticks),
 		experiments.WithSeed(*seed),
 		experiments.WithParallelism(*parallel),
+		experiments.WithShards(*shards),
 	}
 	// Resumable batches: each settled experiment's tables persist in a slot
 	// store keyed by (name, ticks, seed), so a rerun after a kill or failure

@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptDir   = fs.String("checkpoint-dir", "", "write crash-safe snapshots into this directory")
 		ckptEvery = fs.Int("checkpoint-every", 500, "checkpoint interval in ticks (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the other flags must match the checkpointed run")
+		shards    = fs.Int("shards", 1, "goroutines per simulation tick for the plant/EC advance (results are bit-identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	spec.Policy = *pol
 	spec.AllowOff = spec.AllowOff && !*noOff
+	spec.Shards = *shards
 
 	sc := experiments.Scenario{
 		Model:          *modelName,

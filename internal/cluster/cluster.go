@@ -117,6 +117,100 @@ type Cluster struct {
 	DeliveredWork float64 // useful work delivered this tick
 	// LastTick records the tick of the latest Advance (-1 before the first).
 	LastTick int
+
+	// Fixed work decomposition for Advance: one unit per enclosure plus
+	// fixed-size chunks of the standalone servers. The partition depends only
+	// on the topology (never on worker count), so serial and sharded advances
+	// accumulate in exactly the same order — the determinism contract.
+	units   [][]int
+	unitEnc []int // enclosure ID per unit, -1 for standalone chunks
+	// partials is pooled per-unit scratch, reused every tick (and consumed in
+	// place by the tree reduction) so the hot path allocates nothing.
+	partials   []unitPartial
+	standalone []int // cached StandaloneServers result (topology is immutable)
+
+	stats      FleetStats
+	statsValid bool
+}
+
+// FleetStats is the immutable per-tick aggregate produced by Advance's single
+// pass over the fleet. The metrics collector, the engine's live gauges, and
+// the time-series recorder all consume this one struct instead of re-scanning
+// every server — one fleet walk per tick instead of three.
+type FleetStats struct {
+	// Tick is the tick the aggregate was computed at.
+	Tick int
+	// GroupPower, DemandWork, DeliveredWork mirror the cluster fields.
+	GroupPower    float64
+	DemandWork    float64
+	DeliveredWork float64
+	// ServersOn counts powered servers.
+	ServersOn int
+	// ViolSM counts powered servers over CAP_LOC; ViolSMWatts is the summed
+	// overshoot of those servers (W).
+	ViolSM      int
+	ViolSMWatts float64
+	// ViolEM counts enclosures over CAP_ENC; EnclosureObs is the enclosure
+	// count (the violation-rate denominator).
+	ViolEM       int
+	EnclosureObs int
+	// ViolGM reports whether the group draw exceeds CAP_GRP.
+	ViolGM bool
+	// HeadroomGrp/Enc/Loc are the per-level distances to the static budgets
+	// (minimum over enclosures / powered servers; 0 when the level has no
+	// member). Negative means violation.
+	HeadroomGrp float64
+	HeadroomEnc float64
+	HeadroomLoc float64
+}
+
+// unitPartial is one unit's contribution to the fleet aggregate.
+type unitPartial struct {
+	power, demand, delivered, violMass float64
+	hEnc, hLoc                         float64
+	on, violSM, violEM                 int
+	hasEnc, hasLoc                     bool
+}
+
+// combine merges two partials: sums for the additive fields, min-merge for
+// the headrooms. It is the tree reduction's node operator.
+func combine(a, b unitPartial) unitPartial {
+	out := unitPartial{
+		power: a.power + b.power, demand: a.demand + b.demand,
+		delivered: a.delivered + b.delivered, violMass: a.violMass + b.violMass,
+		on: a.on + b.on, violSM: a.violSM + b.violSM, violEM: a.violEM + b.violEM,
+		hEnc: a.hEnc, hasEnc: a.hasEnc, hLoc: a.hLoc, hasLoc: a.hasLoc,
+	}
+	if b.hasEnc && (!out.hasEnc || b.hEnc < out.hEnc) {
+		out.hEnc, out.hasEnc = b.hEnc, true
+	}
+	if b.hasLoc && (!out.hasLoc || b.hLoc < out.hLoc) {
+		out.hLoc, out.hasLoc = b.hLoc, true
+	}
+	return out
+}
+
+// reduceTree folds the partials pairwise, level by level, in place. The fold
+// shape is a pure function of len(ps) — independent of which goroutine
+// produced which partial and of timing — so float sums associate identically
+// on every run at every shard count.
+func reduceTree(ps []unitPartial) unitPartial {
+	n := len(ps)
+	if n == 0 {
+		return unitPartial{}
+	}
+	for n > 1 {
+		half := n / 2
+		for i := 0; i < half; i++ {
+			ps[i] = combine(ps[2*i], ps[2*i+1])
+		}
+		if n%2 == 1 {
+			ps[half] = ps[n-1]
+			half++
+		}
+		n = half
+	}
+	return ps[0]
 }
 
 // New builds a cluster and places the workloads one-per-server in order
@@ -215,6 +309,7 @@ func (c *Cluster) recomputeBudgets() {
 		e.DynCap = e.StaticCap
 	}
 	c.StaticCapGrp = (1 - c.Cfg.CapOffGrp) * groupMax
+	c.statsValid = false
 }
 
 // Move relocates a VM to another server, updating placement bookkeeping and
@@ -245,6 +340,7 @@ func (c *Cluster) Move(vmID, toServer, tick int) error {
 	}
 	vm.Server = toServer
 	vm.MigratingUntil = tick + c.Cfg.MigrationTicks
+	c.statsValid = false
 	return nil
 }
 
@@ -257,6 +353,7 @@ func (c *Cluster) PowerOff(server int) error {
 	}
 	s.On = false
 	s.Util, s.RealUtil, s.Power, s.DemandSum = 0, 0, s.Model.OffWatts, 0
+	c.statsValid = false
 	return nil
 }
 
@@ -265,35 +362,120 @@ func (c *Cluster) PowerOn(server int) {
 	s := c.Servers[server]
 	s.On = true
 	s.PState = 0
+	c.statsValid = false
+}
+
+// standaloneUnitSize is the fixed chunk width for standalone servers in the
+// unit partition — the enclosure width of the paper's topology, so standalone
+// units carry about as much work as enclosure units.
+const standaloneUnitSize = 20
+
+// ensureUnits builds the fixed unit partition lazily (once per cluster):
+// enclosure units first, then fixed-size chunks of the standalone servers.
+func (c *Cluster) ensureUnits() {
+	if c.units != nil {
+		return
+	}
+	for _, e := range c.Enclosures {
+		c.units = append(c.units, e.Servers)
+		c.unitEnc = append(c.unitEnc, e.ID)
+	}
+	for _, s := range c.Servers {
+		if s.Enclosure < 0 {
+			c.standalone = append(c.standalone, s.ID)
+		}
+	}
+	for lo := 0; lo < len(c.standalone); lo += standaloneUnitSize {
+		hi := lo + standaloneUnitSize
+		if hi > len(c.standalone) {
+			hi = len(c.standalone)
+		}
+		c.units = append(c.units, c.standalone[lo:hi])
+		c.unitEnc = append(c.unitEnc, -1)
+	}
+	c.partials = make([]unitPartial, len(c.units))
+}
+
+// Units returns the fixed work partition Advance uses: one unit per
+// enclosure, then fixed-size chunks of standalone servers, each a slice of
+// server IDs. Sharded controllers tick these same units so their work
+// decomposes exactly like the plant's. The returned slices are shared and
+// must not be modified.
+func (c *Cluster) Units() [][]int {
+	c.ensureUnits()
+	return c.units
 }
 
 // Advance evaluates the plant for one tick: per-server demand, utilization,
 // power, and the cluster-wide work ledger. Controllers should run before
 // Advance within a tick; sensors reflect the tick being advanced.
+//
+// Totals are accumulated per unit and combined with a fixed-shape tree
+// reduction (see reduceTree); AdvanceWith runs the same decomposition with
+// the units evaluated concurrently, and produces bitwise-identical results.
 func (c *Cluster) Advance(tick int) {
+	c.AdvanceWith(tick, nil)
+}
+
+// AdvanceWith is Advance with the per-unit work dispatched through run: run
+// must call fn(u) exactly once for every u in [0,n), in any order and on any
+// goroutines, and return only when all calls have completed. A nil run
+// evaluates the units serially. Units touch disjoint state and the reduction
+// happens after run returns, so the results are bitwise identical to the
+// serial Advance regardless of scheduling.
+func (c *Cluster) AdvanceWith(tick int, run func(n int, fn func(u int))) {
+	c.ensureUnits()
 	c.LastTick = tick
-	c.GroupPower = 0
-	c.DemandWork = 0
-	c.DeliveredWork = 0
-	for _, s := range c.Servers {
+	if run == nil {
+		for u := range c.units {
+			c.advanceUnit(tick, u)
+		}
+	} else {
+		run(len(c.units), func(u int) { c.advanceUnit(tick, u) })
+	}
+	tot := reduceTree(c.partials)
+	c.GroupPower = tot.power
+	c.DemandWork = tot.demand
+	c.DeliveredWork = tot.delivered
+	c.stats = FleetStats{
+		Tick: tick, GroupPower: tot.power, DemandWork: tot.demand, DeliveredWork: tot.delivered,
+		ServersOn: tot.on, ViolSM: tot.violSM, ViolSMWatts: tot.violMass,
+		ViolEM: tot.violEM, EnclosureObs: len(c.Enclosures),
+		ViolGM:      tot.power > c.StaticCapGrp,
+		HeadroomGrp: c.StaticCapGrp - tot.power,
+	}
+	if tot.hasEnc {
+		c.stats.HeadroomEnc = tot.hEnc
+	}
+	if tot.hasLoc {
+		c.stats.HeadroomLoc = tot.hLoc
+	}
+	c.statsValid = true
+}
+
+// advanceUnit evaluates one unit's servers and accumulates its partial of the
+// fleet aggregate. Units are disjoint, so concurrent calls with distinct u
+// never race.
+func (c *Cluster) advanceUnit(tick, u int) {
+	p := &c.partials[u]
+	*p = unitPartial{}
+	for _, sid := range c.units[u] {
+		s := c.Servers[sid]
 		if !s.On {
 			s.Util, s.RealUtil, s.DemandSum = 0, 0, 0
 			s.Power = s.Model.OffWatts
-			c.GroupPower += s.Power
+			p.power += s.Power
 			// Work demanded by VMs on an off server is lost entirely. (The
 			// VMC never leaves VMs on off machines; this is failure-mode
 			// accounting.)
 			for _, vmID := range s.VMs {
-				c.DemandWork += c.VMs[vmID].Trace.At(tick)
+				p.demand += c.VMs[vmID].Trace.At(tick)
 			}
 			continue
 		}
 		fD := 0.0
-		rawDemand := 0.0
 		for _, vmID := range s.VMs {
-			d := c.VMs[vmID].Trace.At(tick)
-			rawDemand += d
-			fD += d * (1 + c.Cfg.AlphaV)
+			fD += c.VMs[vmID].Trace.At(tick) * (1 + c.Cfg.AlphaV)
 		}
 		cap := s.Model.Capacity(s.PState)
 		fC := fD
@@ -308,7 +490,15 @@ func (c *Cluster) Advance(tick int) {
 		s.RealUtil = fC
 		s.DemandSum = fD
 		s.Power = s.Model.Power(s.PState, r)
-		c.GroupPower += s.Power
+		p.power += s.Power
+		p.on++
+		if s.Power > s.StaticCap {
+			p.violSM++
+			p.violMass += s.Power - s.StaticCap
+		}
+		if h := s.StaticCap - s.Power; !p.hasLoc || h < p.hLoc {
+			p.hLoc, p.hasLoc = h, true
+		}
 
 		// Useful work excludes the virtualization overhead: the served
 		// fraction applies proportionally to every VM's raw demand, and
@@ -324,16 +514,67 @@ func (c *Cluster) Advance(tick int) {
 			if tick < vm.MigratingUntil {
 				got *= 1 - c.Cfg.AlphaM
 			}
-			c.DemandWork += d
-			c.DeliveredWork += got
+			p.demand += d
+			p.delivered += got
 		}
 	}
+	if eid := c.unitEnc[u]; eid >= 0 {
+		e := c.Enclosures[eid]
+		e.Power = p.power
+		if e.Power > e.StaticCap {
+			p.violEM++
+		}
+		p.hEnc, p.hasEnc = e.StaticCap-e.Power, true
+	}
+}
+
+// Stats returns the fleet aggregate of the latest Advance. Before the first
+// Advance — or after a mutator invalidated the cache (power toggles, restore,
+// model swaps) — it recomputes the aggregate from the current sensor values
+// without re-evaluating the plant. Direct writes to exported fields (e.g.
+// StaticCapGrp) are not tracked; inside an engine run that never matters
+// because Advance repopulates the stats after the controllers act.
+func (c *Cluster) Stats() FleetStats {
+	if !c.statsValid {
+		c.recomputeStats()
+	}
+	return c.stats
+}
+
+// recomputeStats rebuilds FleetStats from current sensors (aggregation only).
+func (c *Cluster) recomputeStats() {
+	st := FleetStats{
+		Tick: c.LastTick, GroupPower: c.GroupPower,
+		DemandWork: c.DemandWork, DeliveredWork: c.DeliveredWork,
+		EnclosureObs: len(c.Enclosures),
+		ViolGM:       c.GroupPower > c.StaticCapGrp,
+		HeadroomGrp:  c.StaticCapGrp - c.GroupPower,
+	}
+	hasLoc := false
+	for _, s := range c.Servers {
+		if !s.On {
+			continue
+		}
+		st.ServersOn++
+		if s.Power > s.StaticCap {
+			st.ViolSM++
+			st.ViolSMWatts += s.Power - s.StaticCap
+		}
+		if h := s.StaticCap - s.Power; !hasLoc || h < st.HeadroomLoc {
+			st.HeadroomLoc, hasLoc = h, true
+		}
+	}
+	hasEnc := false
 	for _, e := range c.Enclosures {
-		e.Power = 0
-		for _, sid := range e.Servers {
-			e.Power += c.Servers[sid].Power
+		if e.Power > e.StaticCap {
+			st.ViolEM++
+		}
+		if h := e.StaticCap - e.Power; !hasEnc || h < st.HeadroomEnc {
+			st.HeadroomEnc, hasEnc = h, true
 		}
 	}
+	c.stats = st
+	c.statsValid = true
 }
 
 // OnCount returns the number of powered servers.
@@ -348,14 +589,11 @@ func (c *Cluster) OnCount() int {
 }
 
 // StandaloneServers returns the indices of servers outside any enclosure.
+// The topology is immutable, so the result is computed once and shared —
+// callers must treat it as read-only.
 func (c *Cluster) StandaloneServers() []int {
-	var out []int
-	for _, s := range c.Servers {
-		if s.Enclosure < 0 {
-			out = append(out, s.ID)
-		}
-	}
-	return out
+	c.ensureUnits()
+	return c.standalone
 }
 
 // MaxGroupPower returns the sum of per-server maximum draws.

@@ -136,5 +136,6 @@ func (c *Cluster) RestoreState(st State) error {
 	c.DemandWork = st.DemandWork
 	c.DeliveredWork = st.DeliveredWork
 	c.LastTick = st.LastTick
+	c.statsValid = false
 	return nil
 }

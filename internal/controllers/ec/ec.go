@@ -17,6 +17,7 @@ package ec
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nopower/internal/cluster"
 	"nopower/internal/control"
@@ -41,10 +42,11 @@ type Controller struct {
 	// Lambda is the scaling gain λ.
 	Lambda float64
 
-	loops  []*control.UtilizationLoop
-	wasOn  []bool
-	rRef0  float64
-	nSteps int
+	loops []*control.UtilizationLoop
+	wasOn []bool
+	rRef0 float64
+	// nSteps is atomic: concurrent TickShard calls all add to it.
+	nSteps atomic.Int64
 	tracer obs.Tracer
 }
 
@@ -86,7 +88,33 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	if k%c.Period != 0 {
 		return
 	}
-	for i, s := range cl.Servers {
+	c.tickServers(k, cl, nil)
+}
+
+// TickShard implements the simulator's ShardTicker interface: it advances
+// only the listed servers' loops. Loop state is strictly per-server, so
+// concurrent calls over disjoint server sets never race; the step counter is
+// the one shared cell and is accumulated atomically, once per call.
+func (c *Controller) TickShard(k int, cl *cluster.Cluster, servers []int) {
+	if k%c.Period != 0 {
+		return
+	}
+	c.tickServers(k, cl, servers)
+}
+
+// tickServers advances the loops for the given server IDs (nil = all).
+func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
+	n := len(cl.Servers)
+	if servers != nil {
+		n = len(servers)
+	}
+	steps := int64(0)
+	for j := 0; j < n; j++ {
+		i := j
+		if servers != nil {
+			i = servers[j]
+		}
+		s := cl.Servers[i]
 		loop := c.loops[i]
 		if !s.On {
 			c.wasOn[i] = false
@@ -103,7 +131,7 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		loop.StepEC(s.Util, s.RealUtil)
 		old := s.PState
 		s.PState = s.Model.Quantize(loop.F * s.Model.MaxFreq())
-		c.nSteps++
+		steps++
 		if c.tracer != nil {
 			// Every assignment is traced, not just changes: a same-value
 			// rewrite is still a claim on the shared knob, which is exactly
@@ -112,10 +140,11 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 				Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "utilization-loop"})
 		}
 	}
+	c.nSteps.Add(steps)
 }
 
 // Steps reports how many per-server control actions have run (telemetry).
-func (c *Controller) Steps() int { return c.nSteps }
+func (c *Controller) Steps() int { return int(c.nSteps.Load()) }
 
 // ctrlState is the EC's serializable state: the per-server loop cursors
 // (target and continuous frequency) plus the boot-detection latches.
@@ -132,7 +161,7 @@ func (c *Controller) State() ([]byte, error) {
 		RRef:  make([]float64, len(c.loops)),
 		F:     make([]float64, len(c.loops)),
 		WasOn: append([]bool(nil), c.wasOn...),
-		Steps: c.nSteps,
+		Steps: int(c.nSteps.Load()),
 	}
 	for i, loop := range c.loops {
 		st.RRef[i], st.F[i] = loop.RRef, loop.F
@@ -153,6 +182,6 @@ func (c *Controller) Restore(data []byte) error {
 		loop.RRef, loop.F = st.RRef[i], st.F[i]
 	}
 	copy(c.wasOn, st.WasOn)
-	c.nSteps = st.Steps
+	c.nSteps.Store(int64(st.Steps))
 	return nil
 }

@@ -47,6 +47,7 @@ type Controller struct {
 	violations int
 	epochs     int
 	tracer     obs.Tracer
+	scratch    []policy.Child // reused per epoch; the hot loop allocates nothing
 }
 
 // New builds an enclosure manager.
@@ -80,7 +81,10 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		if c.Mode == Coordinated && e.DynCap < capEnc {
 			capEnc = e.DynCap // min(CAP_ENC, GM recommendation)
 		}
-		children := make([]policy.Child, len(e.Servers))
+		if cap(c.scratch) < len(e.Servers) {
+			c.scratch = make([]policy.Child, len(e.Servers))
+		}
+		children := c.scratch[:len(e.Servers)]
 		for i, sid := range e.Servers {
 			s := cl.Servers[sid]
 			children[i] = policy.Child{ID: sid, Power: s.Power, MaxPower: s.Model.MaxPower()}

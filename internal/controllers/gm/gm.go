@@ -43,6 +43,7 @@ type Controller struct {
 	violations int
 	epochs     int
 	tracer     obs.Tracer
+	scratch    []policy.Child // reused per epoch; the hot loop allocates nothing
 }
 
 // New builds a group manager.
@@ -76,7 +77,10 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	}
 
 	standalone := cl.StandaloneServers()
-	children := make([]policy.Child, 0, len(cl.Enclosures)+len(standalone))
+	if cap(c.scratch) < len(cl.Enclosures)+len(standalone) {
+		c.scratch = make([]policy.Child, 0, len(cl.Enclosures)+len(standalone))
+	}
+	children := c.scratch[:0]
 	for _, e := range cl.Enclosures {
 		maxP := 0.0
 		for _, sid := range e.Servers {

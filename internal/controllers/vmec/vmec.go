@@ -135,7 +135,31 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	if k%c.Period != 0 {
 		return
 	}
-	for _, s := range cl.Servers {
+	c.tickServers(k, cl, nil)
+}
+
+// TickShard implements the simulator's ShardTicker interface: it steps only
+// the listed servers (and the VM loops resident on them). VM placement is a
+// partition — every VM lives on exactly one server — so disjoint server sets
+// touch disjoint loops and concurrent calls never race.
+func (c *Controller) TickShard(k int, cl *cluster.Cluster, servers []int) {
+	if k%c.Period != 0 {
+		return
+	}
+	c.tickServers(k, cl, servers)
+}
+
+// tickServers steps the loops for the given server IDs (nil = all).
+func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
+	n := len(cl.Servers)
+	if servers != nil {
+		n = len(servers)
+	}
+	for j := 0; j < n; j++ {
+		s := cl.Servers[j]
+		if servers != nil {
+			s = cl.Servers[servers[j]]
+		}
 		if !s.On {
 			c.wasOn[s.ID] = false
 			continue

@@ -96,6 +96,10 @@ type Spec struct {
 	SLO float64
 	// Seed drives any stochastic policy (e.g. random division).
 	Seed int64
+	// Shards bounds the goroutines used per tick for the plant advance and
+	// the per-server controller epochs (sim.Engine.Shards). 0/1 = serial.
+	// Pure execution knob: results are bitwise identical at every value.
+	Shards int
 }
 
 // Coordinated returns the paper's base coordinated stack.
@@ -410,6 +414,7 @@ func Build(cl *cluster.Cluster, spec Spec) (*sim.Engine, *Handles, error) {
 	}
 
 	eng := sim.New(cl, stack...)
+	eng.Shards = spec.Shards
 	eng.RegisterAux("rng", src)
 	return eng, h, nil
 }

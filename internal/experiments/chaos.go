@@ -109,6 +109,12 @@ func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, er
 	if spec.Seed == 0 {
 		spec.Seed = sc.Seed
 	}
+	if spec.Shards == 0 {
+		spec.Shards = sc.Shards
+	}
+	if spec.Shards == 0 {
+		spec.Shards = DefaultShards()
+	}
 	eng, _, err := core.Build(cl, spec)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"nopower/internal/report"
 	"nopower/internal/runner"
@@ -22,6 +23,12 @@ type Options struct {
 	// jobs out (0 = GOMAXPROCS, 1 = serial). Results are deterministic at
 	// any setting: tables are keyed by job, never by completion order.
 	Parallelism int
+	// Shards bounds the goroutines used inside each simulation tick (the
+	// sharded plant/EC advance; 0 = the package default set by
+	// SetDefaultShards, which itself defaults to serial). Orthogonal to
+	// Parallelism — that knob fans out across runs, this one inside a run —
+	// and, like it, never changes results.
+	Shards int
 }
 
 func (o Options) normalized() Options {
@@ -46,6 +53,23 @@ func WithSeed(s int64) Option { return func(o *Options) { o.Seed = s } }
 
 // WithParallelism bounds the experiment worker pool (0 = GOMAXPROCS).
 func WithParallelism(p int) Option { return func(o *Options) { o.Parallelism = p } }
+
+// WithShards bounds the per-tick goroutines inside each simulation
+// (0 = package default).
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// defaultShards is the process-wide fallback for Options.Shards/
+// Scenario.Shards, set by the CLIs' -shards flag. Atomic because experiment
+// jobs read it from worker goroutines.
+var defaultShards atomic.Int64
+
+// SetDefaultShards sets the process-wide default per-tick shard count used
+// when a scenario/spec/options leaves Shards at 0. Sharding is a pure
+// execution knob — results are bitwise identical at every value.
+func SetDefaultShards(n int) { defaultShards.Store(int64(n)) }
+
+// DefaultShards reports the process-wide default per-tick shard count.
+func DefaultShards() int { return int(defaultShards.Load()) }
 
 // WithOptions overlays a whole Options struct — the bridge for callers
 // migrating from the positional form.
@@ -86,13 +110,14 @@ var registry = map[string]struct {
 	"cooling":    {Cooling, "§7 future work: cooling-domain coordination (CRAC setpoint + budgets)"},
 	"chaos":      {Chaos, "fault-injection soak: flaps, sensor faults, crashes under degraded mode (§3.2)"},
 	"replay":     {Replay, "chaos soak killed mid-run and resumed from checkpoint; verifies bitwise replay"},
+	"scale":      {Scale, "10k-server fleet: sharded tick engine vs serial, bit-identical results (E17)"},
 }
 
 // Names lists the registered experiment IDs in DESIGN.md order.
 func Names() []string {
 	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
 		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
-		"extensions", "cooling", "chaos", "replay"}
+		"extensions", "cooling", "chaos", "replay", "scale"}
 	// Guard against drift between the slice and the map.
 	if len(order) != len(registry) {
 		keys := make([]string, 0, len(registry))
@@ -116,7 +141,15 @@ func RunExperiment(ctx context.Context, name string, opts ...Option) ([]*report.
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
-	return e.run(ctx, BuildOptions(opts...))
+	o := BuildOptions(opts...)
+	if o.Shards != 0 {
+		// Experiments build their scenarios internally, so the per-run shard
+		// request travels via the process default. Concurrent batches with
+		// different values interleave benignly: sharding never changes
+		// results, only wall clock.
+		SetDefaultShards(o.Shards)
+	}
+	return e.run(ctx, o)
 }
 
 // RunExperimentOpts executes a registered experiment with a positional

@@ -68,6 +68,11 @@ type Scenario struct {
 	// from a user CSV) instead of generating the named Mix. Each BuildCluster
 	// call deep-copies the set so runs stay independent.
 	Traces *trace.Set
+	// Shards bounds the per-tick goroutines of the engine (core.Spec.Shards).
+	// 0 falls back to the spec's value, then to the package default set by
+	// SetDefaultShards (the -shards CLI flag). Results are bitwise identical
+	// at every value.
+	Shards int
 }
 
 // DefaultTicks is long enough for several VMC epochs at the base periods.
@@ -203,7 +208,7 @@ func (sc Scenario) clusterFromSet(set *trace.Set) (*cluster.Cluster, error) {
 // returns the finalized metrics.
 func Run(ctx context.Context, sc Scenario, spec core.Spec) (metrics.Result, error) {
 	sc = sc.normalized()
-	baseline, err := sim.BaselineContext(ctx, sc.BuildCluster, sc.Ticks)
+	baseline, err := BaselinePower(ctx, sc)
 	if err != nil {
 		return metrics.Result{}, err
 	}
@@ -298,6 +303,12 @@ func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	if spec.Seed == 0 {
 		spec.Seed = sc.Seed
 	}
+	if spec.Shards == 0 {
+		spec.Shards = sc.Shards
+	}
+	if spec.Shards == 0 {
+		spec.Shards = DefaultShards()
+	}
 	eng, _, err := core.Build(cl, spec)
 	if err != nil {
 		return metrics.Result{}, err
@@ -320,8 +331,24 @@ func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	return res, nil
 }
 
-// BaselinePower computes the scenario's no-management average power.
+// BaselinePower computes the scenario's no-management average power. The
+// controller-free engine honors the scenario's shard setting — sharding never
+// changes results, so the baseline is identical at any value, just faster on
+// big fleets.
 func BaselinePower(ctx context.Context, sc Scenario) (float64, error) {
 	sc = sc.normalized()
-	return sim.BaselineContext(ctx, sc.BuildCluster, sc.Ticks)
+	cl, err := sc.BuildCluster()
+	if err != nil {
+		return 0, err
+	}
+	eng := sim.New(cl)
+	eng.Shards = sc.Shards
+	if eng.Shards == 0 {
+		eng.Shards = DefaultShards()
+	}
+	col, err := eng.RunContext(ctx, sc.Ticks)
+	if err != nil {
+		return 0, err
+	}
+	return col.Finalize(0).AvgPower, nil
 }

@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/cluster"
+)
+
+// resultFloats lists every float field of a Result for NaN auditing.
+func resultFloats(r Result) map[string]float64 {
+	return map[string]float64{
+		"AvgPower": r.AvgPower, "PeakPower": r.PeakPower,
+		"PowerSavings": r.PowerSavings, "PerfLoss": r.PerfLoss,
+		"ViolSM": r.ViolSM, "ViolEM": r.ViolEM, "ViolGM": r.ViolGM,
+		"ViolSMWatts": r.ViolSMWatts, "AvgServersOn": r.AvgServersOn,
+	}
+}
+
+// TestFinalizeZeroObservations locks in the degenerate-denominator contract:
+// every rate whose observation count is zero finalizes to a defined zero,
+// never NaN — a collector that saw no ticks, an all-off fleet with no
+// powered server intervals, a topology with no enclosures, and a run with
+// no demanded work are all legitimate runs, not errors.
+func TestFinalizeZeroObservations(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe func(c *Collector)
+		want    map[string]float64 // fields with specific expected values
+	}{
+		{
+			name:    "no ticks",
+			observe: func(c *Collector) {},
+			want: map[string]float64{"AvgPower": 0, "PeakPower": 0, "PowerSavings": 0,
+				"PerfLoss": 0, "ViolSM": 0, "ViolEM": 0, "ViolGM": 0,
+				"ViolSMWatts": 0, "AvgServersOn": 0},
+		},
+		{
+			name: "all-off fleet (serverObs = 0, no demand)",
+			observe: func(c *Collector) {
+				for i := 0; i < 5; i++ {
+					c.ObserveStats(cluster.FleetStats{Tick: i, GroupPower: 40,
+						ServersOn: 0, EnclosureObs: 2})
+				}
+			},
+			want: map[string]float64{"AvgPower": 40, "PerfLoss": 0, "ViolSM": 0,
+				"ViolSMWatts": 0, "AvgServersOn": 0},
+		},
+		{
+			name: "no enclosures (encObs = 0)",
+			observe: func(c *Collector) {
+				for i := 0; i < 5; i++ {
+					c.ObserveStats(cluster.FleetStats{Tick: i, GroupPower: 500,
+						ServersOn: 4, DemandWork: 2, DeliveredWork: 2})
+				}
+			},
+			want: map[string]float64{"ViolEM": 0, "PerfLoss": 0, "AvgServersOn": 4},
+		},
+		{
+			name: "violations observed but none hit (violSM = 0)",
+			observe: func(c *Collector) {
+				c.ObserveStats(cluster.FleetStats{GroupPower: 300, ServersOn: 3,
+					EnclosureObs: 1, DemandWork: 1, DeliveredWork: 1})
+			},
+			want: map[string]float64{"ViolSM": 0, "ViolEM": 0, "ViolGM": 0, "ViolSMWatts": 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var c Collector
+			tc.observe(&c)
+			// baseline 0 (not supplied) is itself a degenerate denominator.
+			r := c.Finalize(0)
+			for name, v := range resultFloats(r) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Errorf("%s = %v, want a finite value", name, v)
+				}
+			}
+			got := resultFloats(r)
+			for name, want := range tc.want {
+				if got[name] != want {
+					t.Errorf("%s = %v, want %v", name, got[name], want)
+				}
+			}
+			if err := r.Valid(); err != nil {
+				t.Errorf("Valid() = %v on a degenerate but legitimate run", err)
+			}
+		})
+	}
+}

@@ -37,40 +37,38 @@ type Collector struct {
 	violSMMass float64 // Σ overshoot (W·tick), magnitude telemetry
 }
 
-// Observe folds one advanced tick of the cluster into the collector.
+// Observe folds one advanced tick of the cluster into the collector. It is a
+// convenience wrapper over ObserveStats using the cluster's own per-tick
+// aggregate — inside the simulator the engine shares one Stats() pass between
+// the collector, the live gauges, and the series recorder.
 func (c *Collector) Observe(cl *cluster.Cluster) {
+	c.ObserveStats(cl.Stats())
+}
+
+// ObserveStats folds one tick's fleet aggregate into the collector.
+//
+// A powered-off server has no SM controller interval: FleetStats counts only
+// powered servers in ServersOn, so the §4.2 violation-rate denominator
+// ("percentage of controller intervals in violation") is not diluted.
+func (c *Collector) ObserveStats(st cluster.FleetStats) {
 	c.ticks++
-	c.energy += cl.GroupPower
-	c.demandWork += cl.DemandWork
-	c.delivered += cl.DeliveredWork
-	if cl.GroupPower > c.peakPower {
-		c.peakPower = cl.GroupPower
+	c.energy += st.GroupPower
+	c.demandWork += st.DemandWork
+	c.delivered += st.DeliveredWork
+	if st.GroupPower > c.peakPower {
+		c.peakPower = st.GroupPower
 	}
 
-	for _, s := range cl.Servers {
-		if !s.On {
-			// A powered-off server has no SM controller interval: counting it
-			// in the denominator would dilute the §4.2 violation rate
-			// ("percentage of controller intervals in violation").
-			continue
-		}
-		c.serverObs++
-		if s.Power > s.StaticCap {
-			c.violSM++
-			c.violSMMass += s.Power - s.StaticCap
-		}
-	}
-	for _, e := range cl.Enclosures {
-		c.encObs++
-		if e.Power > e.StaticCap {
-			c.violEM++
-		}
-	}
+	c.serverObs += st.ServersOn
+	c.violSM += st.ViolSM
+	c.violSMMass += st.ViolSMWatts
+	c.encObs += st.EnclosureObs
+	c.violEM += st.ViolEM
 	c.grpObs++
-	if cl.GroupPower > cl.StaticCapGrp {
+	if st.ViolGM {
 		c.violGM++
 	}
-	c.onServerSum += cl.OnCount()
+	c.onServerSum += st.ServersOn
 }
 
 // CollectorState mirrors the collector's unexported accumulators for the

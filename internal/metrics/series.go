@@ -42,7 +42,8 @@ type Series struct {
 	HeadroomLoc []float64
 }
 
-// Observe appends one sample (honoring the stride).
+// Observe appends one sample (honoring the stride). It reads the cluster's
+// shared per-tick aggregate instead of re-scanning the fleet.
 func (s *Series) Observe(k int, cl *cluster.Cluster) {
 	stride := s.Stride
 	if stride < 1 {
@@ -51,44 +52,27 @@ func (s *Series) Observe(k int, cl *cluster.Cluster) {
 	if k%stride != 0 {
 		return
 	}
-	viol := 0
-	for _, sv := range cl.Servers {
-		if sv.On && sv.Power > sv.StaticCap {
-			viol++
-		}
-	}
+	st := cl.Stats()
 	loss := 0.0
-	if cl.DemandWork > 0 {
-		loss = 1 - cl.DeliveredWork/cl.DemandWork
+	if st.DemandWork > 0 {
+		loss = 1 - st.DeliveredWork/st.DemandWork
 	}
+	// Computed from the cluster fields rather than -st.HeadroomGrp: negating
+	// an exact-zero headroom would record -0 where the subtraction yields +0,
+	// and the replay bar (BitEqual) distinguishes the two.
 	over := cl.GroupPower - cl.StaticCapGrp
 	if over < 0 {
 		over = 0
 	}
-	hEnc, first := 0.0, true
-	for _, e := range cl.Enclosures {
-		if h := e.StaticCap - e.Power; first || h < hEnc {
-			hEnc, first = h, false
-		}
-	}
-	hLoc, firstLoc := 0.0, true
-	for _, sv := range cl.Servers {
-		if !sv.On {
-			continue
-		}
-		if h := sv.StaticCap - sv.Power; firstLoc || h < hLoc {
-			hLoc, firstLoc = h, false
-		}
-	}
 	s.Ticks = append(s.Ticks, k)
-	s.PowerW = append(s.PowerW, cl.GroupPower)
-	s.ServersOn = append(s.ServersOn, cl.OnCount())
-	s.ViolSM = append(s.ViolSM, viol)
+	s.PowerW = append(s.PowerW, st.GroupPower)
+	s.ServersOn = append(s.ServersOn, st.ServersOn)
+	s.ViolSM = append(s.ViolSM, st.ViolSM)
 	s.PerfLoss = append(s.PerfLoss, loss)
 	s.TempProxy = append(s.TempProxy, over)
-	s.HeadroomGrp = append(s.HeadroomGrp, cl.StaticCapGrp-cl.GroupPower)
-	s.HeadroomEnc = append(s.HeadroomEnc, hEnc)
-	s.HeadroomLoc = append(s.HeadroomLoc, hLoc)
+	s.HeadroomGrp = append(s.HeadroomGrp, st.HeadroomGrp)
+	s.HeadroomEnc = append(s.HeadroomEnc, st.HeadroomEnc)
+	s.HeadroomLoc = append(s.HeadroomLoc, st.HeadroomLoc)
 }
 
 // Len returns the number of recorded samples.

@@ -35,7 +35,9 @@ type Child struct {
 type Division interface {
 	// Name identifies the policy for reports and flags.
 	Name() string
-	// Divide computes the per-child budget recommendations.
+	// Divide computes the per-child budget recommendations. The children
+	// slice is valid only for the duration of the call — controllers pool
+	// and reuse it across epochs — so implementations must not retain it.
 	Divide(total float64, children []Child) []float64
 }
 

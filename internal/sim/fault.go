@@ -11,6 +11,7 @@ package sim
 import (
 	"fmt"
 	"runtime/debug"
+	"sync"
 
 	"nopower/internal/cluster"
 	"nopower/internal/obs"
@@ -105,6 +106,9 @@ func (e *Engine) Disabled() []string {
 // sandbox is disarmed and the panic unwinds as before.
 func (e *Engine) tickOne(ci, k int) (perr *ControllerPanicError) {
 	c := e.Controllers[ci]
+	if stc, ok := c.(ShardTicker); ok && e.Shards > 1 && e.Tracer == nil {
+		return e.tickShards(stc, k)
+	}
 	if e.FaultPolicy != FaultPropagate {
 		defer func() {
 			if r := recover(); r != nil {
@@ -116,6 +120,41 @@ func (e *Engine) tickOne(ci, k int) (perr *ControllerPanicError) {
 	}
 	c.Tick(k, e.Cluster)
 	return nil
+}
+
+// tickShards runs one ShardTicker's epoch across the cluster's unit
+// partition on the engine's worker pool. Panics are recovered per unit even
+// under FaultPropagate — a panic on a worker goroutine would kill the whole
+// process — and the surviving panic is chosen deterministically (lowest unit
+// index) before being re-raised or returned on the calling goroutine per the
+// engine's policy.
+func (e *Engine) tickShards(c ShardTicker, k int) *ControllerPanicError {
+	units := e.Cluster.Units()
+	var (
+		mu       sync.Mutex
+		perr     *ControllerPanicError
+		perrUnit int
+	)
+	e.runFn(len(units), func(u int) {
+		defer func() {
+			if r := recover(); r != nil {
+				stack := string(debug.Stack())
+				mu.Lock()
+				if perr == nil || u < perrUnit {
+					perr = &ControllerPanicError{
+						Tick: k, Controller: c.Name(), Value: r, Stack: stack,
+					}
+					perrUnit = u
+				}
+				mu.Unlock()
+			}
+		}()
+		c.TickShard(k, e.Cluster, units[u])
+	})
+	if perr != nil && e.FaultPolicy == FaultPropagate {
+		panic(perr.Value)
+	}
+	return perr
 }
 
 // failSafeTick invokes a disabled controller's fail-safe, itself sandboxed:

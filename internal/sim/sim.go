@@ -9,6 +9,9 @@ package sim
 import (
 	"context"
 	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nopower/internal/cluster"
@@ -31,6 +34,20 @@ type Controller interface {
 // controller before the first tick of a run.
 type Traceable interface {
 	SetTracer(obs.Tracer)
+}
+
+// ShardTicker is implemented by controllers whose per-epoch work decomposes
+// over the cluster's fixed unit partition — the per-server controllers (EC,
+// VMEC), whose state is strictly per-server. When the engine runs with
+// Shards > 1 and no tracer attached, it calls TickShard once per unit,
+// concurrently, instead of Tick; implementations must touch only the listed
+// servers' state (plus their own per-server state) so disjoint calls never
+// race. Tracing forces the serial Tick path: concurrent shards would emit
+// events in a nondeterministic order.
+type ShardTicker interface {
+	Controller
+	// TickShard performs the controller's epoch work for the given servers.
+	TickShard(k int, cl *cluster.Cluster, servers []int)
 }
 
 // Engine runs one simulation. Run may be called repeatedly; the tick counter
@@ -73,10 +90,21 @@ type Engine struct {
 	// MidTick. A returned error fails the run — a checkpointed run that can
 	// no longer checkpoint is losing the very durability it was asked for.
 	OnCheckpoint func(*Snapshot) error
+	// Shards bounds the goroutines used to advance the plant and tick
+	// ShardTicker controllers within a single simulation tick. 0 and 1 both
+	// mean serial. This is an execution knob, not simulation state: the fixed
+	// unit partition and tree reduction make the results bitwise identical at
+	// every value (DESIGN.md §11), so it is deliberately absent from
+	// snapshots.
+	Shards int
 
 	tick           int
 	aux            []auxEntry
 	obsWired       bool
+	wiredCtls      []Controller
+	wiredMetrics   *obs.Registry
+	wiredTracer    bool
+	runFn          func(n int, fn func(u int))
 	ctl            []ctlInstr
 	disabled       []bool // controllers knocked out by FaultDegrade
 	failsafeBroken []bool // fail-safes that themselves panicked
@@ -102,13 +130,30 @@ type ctlInstr struct {
 }
 
 // wireObservability injects the tracer into Traceable controllers and
-// resolves the metric handles, once per engine. Called from RunContext so
-// callers can set the fields any time before the first tick.
+// resolves the metric handles. Called from RunContext so callers can set the
+// fields any time before the first tick. The wiring is fingerprinted against
+// the controller stack and the observability fields, so a stack replaced
+// between runs (rebuilt after a snapshot restore, trimmed after degraded
+// mode) is re-wired instead of reporting latency/ticks under the old run's
+// controller labels.
 func (e *Engine) wireObservability() {
-	if e.obsWired {
+	if e.obsCurrent() {
 		return
 	}
+	if e.obsWired && len(e.wiredCtls) != len(e.Controllers) && len(e.disabled) != len(e.Controllers) {
+		// A different-shaped stack invalidates the per-index fault masks too —
+		// unless a mask of the new shape was just installed (RestoreSnapshot
+		// sets it after the caller swaps in the rebuilt stack), in which case
+		// it describes the new stack and must survive the rewire.
+		e.disabled, e.failsafeBroken = nil, nil
+	}
 	e.obsWired = true
+	e.wiredCtls = append(e.wiredCtls[:0], e.Controllers...)
+	e.wiredMetrics = e.Metrics
+	e.wiredTracer = e.Tracer != nil
+	if e.runFn == nil {
+		e.runFn = e.runUnits
+	}
 	if e.Tracer != nil {
 		for _, c := range e.Controllers {
 			if tc, ok := c.(Traceable); ok {
@@ -117,6 +162,7 @@ func (e *Engine) wireObservability() {
 		}
 	}
 	if e.Metrics == nil {
+		e.ctl = nil
 		return
 	}
 	e.ctl = make([]ctlInstr, len(e.Controllers))
@@ -134,28 +180,90 @@ func (e *Engine) wireObservability() {
 	e.mViolGM = e.Metrics.Counter(`np_sim_budget_violations_total{level="gm"}`)
 }
 
-// observeMetrics streams the advanced tick into the registry.
-func (e *Engine) observeMetrics(cl *cluster.Cluster) {
+// obsCurrent reports whether the existing wiring still matches the engine's
+// stack and observability fields. Controllers are compared by identity;
+// tracers only by nil-ness (a tracer's dynamic type — e.g. a multi-tracer
+// slice — need not be comparable).
+func (e *Engine) obsCurrent() bool {
+	if !e.obsWired || e.wiredMetrics != e.Metrics || e.wiredTracer != (e.Tracer != nil) {
+		return false
+	}
+	if len(e.wiredCtls) != len(e.Controllers) {
+		return false
+	}
+	for i, c := range e.Controllers {
+		if !sameController(e.wiredCtls[i], c) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameController reports whether two stack slots hold the same controller.
+// Non-comparable implementations (legal, if unusual) can't prove identity,
+// so they conservatively force a rewire.
+func sameController(a, b Controller) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ta := reflect.TypeOf(a)
+	if ta != reflect.TypeOf(b) || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// observeMetrics streams the advanced tick's fleet aggregate into the
+// registry — the same single-pass FleetStats the collector consumes, so the
+// live violation counters and the finalized rates can never disagree.
+func (e *Engine) observeMetrics(st cluster.FleetStats) {
 	e.mTicks.Inc()
-	e.mPower.Set(cl.GroupPower)
-	e.mOn.Set(float64(cl.OnCount()))
-	viol := int64(0)
-	for _, s := range cl.Servers {
-		if s.On && s.Power > s.StaticCap {
-			viol++
-		}
-	}
-	e.mViolSM.Add(viol)
-	viol = 0
-	for _, enc := range cl.Enclosures {
-		if enc.Power > enc.StaticCap {
-			viol++
-		}
-	}
-	e.mViolEM.Add(viol)
-	if cl.GroupPower > cl.StaticCapGrp {
+	e.mPower.Set(st.GroupPower)
+	e.mOn.Set(float64(st.ServersOn))
+	e.mViolSM.Add(int64(st.ViolSM))
+	e.mViolEM.Add(int64(st.ViolEM))
+	if st.ViolGM {
 		e.mViolGM.Inc()
 	}
+}
+
+// runUnits dispatches fn over n units using up to e.Shards goroutines (the
+// calling goroutine participates). Units are claimed from a shared atomic
+// index — work-stealing keeps the load balanced however uneven the units —
+// and the WaitGroup join gives the caller a happens-before edge over every
+// unit's writes. Which goroutine runs which unit never affects results: units
+// touch disjoint state and all reductions happen after the join.
+func (e *Engine) runUnits(n int, fn func(u int)) {
+	workers := e.Shards
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for u := 0; u < n; u++ {
+			fn(u)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			u := int(next.Add(1)) - 1
+			if u >= n {
+				return
+			}
+			fn(u)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for i := 1; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 }
 
 // New builds an engine over a cluster and a controller stack.
@@ -242,11 +350,18 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 				e.failSafeTick(ci, k)
 			}
 		}
-		e.Cluster.Advance(k)
-		if e.Metrics != nil {
-			e.observeMetrics(e.Cluster)
+		if e.Shards > 1 {
+			e.Cluster.AdvanceWith(k, e.runFn)
+		} else {
+			e.Cluster.Advance(k)
 		}
-		e.Collector.Observe(e.Cluster)
+		// One shared fleet pass feeds the registry gauges, the collector, and
+		// (via Stats inside Series.Observe) the OnTick recorders.
+		st := e.Cluster.Stats()
+		if e.Metrics != nil {
+			e.observeMetrics(st)
+		}
+		e.Collector.ObserveStats(st)
 		if e.OnTick != nil {
 			e.OnTick(k, e.Cluster)
 		}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+
+	"nopower/internal/metrics"
+	"nopower/internal/obs"
+	"nopower/internal/state"
+	"nopower/internal/testutil"
+)
+
+// collectorState extracts the collector's accumulators via its snapshot —
+// the only window tests get into the unexported counters.
+func collectorState(t *testing.T, col *metrics.Collector) metrics.CollectorState {
+	t.Helper()
+	data, err := col.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st metrics.CollectorState
+	if err := state.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRegistryViolationsMatchCollector pins the single-pass telemetry
+// contract: the live np_sim_budget_violations_total counters and the
+// collector consume the same per-tick FleetStats, so their violation counts
+// can never disagree — historically the engine re-derived the SM/EM counts
+// with its own loops and could drift. The scenario (flat 0.95 demand, no
+// controllers, base budgets) violates at all three levels every tick.
+func TestRegistryViolationsMatchCollector(t *testing.T) {
+	cl := testutil.EnclosureCluster(t, 2, 10, 5, 50, 0.95)
+	reg := obs.NewRegistry()
+	eng := New(cl)
+	eng.Metrics = reg
+
+	check := func(leg string) {
+		t.Helper()
+		st := collectorState(t, eng.Collector)
+		if st.ViolSM == 0 || st.ViolEM == 0 || st.ViolGM == 0 {
+			t.Fatalf("%s: scenario is not violating (SM/EM/GM = %d/%d/%d) — the equality check proves nothing",
+				leg, st.ViolSM, st.ViolEM, st.ViolGM)
+		}
+		for _, c := range []struct {
+			metric string
+			want   int
+		}{
+			{`np_sim_budget_violations_total{level="sm"}`, st.ViolSM},
+			{`np_sim_budget_violations_total{level="em"}`, st.ViolEM},
+			{`np_sim_budget_violations_total{level="gm"}`, st.ViolGM},
+		} {
+			if got := reg.Counter(c.metric).Value(); got != int64(c.want) {
+				t.Errorf("%s: %s = %d, collector has %d", leg, c.metric, got, c.want)
+			}
+		}
+		if got := reg.Counter("np_sim_ticks_total").Value(); got != int64(st.Ticks) {
+			t.Errorf("%s: np_sim_ticks_total = %d, collector has %d ticks", leg, got, st.Ticks)
+		}
+	}
+
+	// Two legs: the counters must track the collector incrementally, not
+	// just on a fresh engine.
+	if _, err := eng.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	check("after 20 ticks")
+	if _, err := eng.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	check("after 40 ticks")
+}
+
+// TestRewireOnStackMutation is the regression for the latched obsWired bug:
+// the engine wired metric handles and the tracer once, so a stack replaced
+// between runs (rebuilt after a snapshot restore, trimmed after degraded
+// mode) kept reporting ticks and latency under the old run's controller
+// labels — and new controllers never received the tracer.
+func TestRewireOnStackMutation(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 200, 0.3)
+	reg := obs.NewRegistry()
+	a := &counter{name: "A"}
+	eng := New(cl, a)
+	eng.Metrics = reg
+	if _, err := eng.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(`np_controller_ticks_total{controller="A"}`).Value(); got != 3 {
+		t.Fatalf("ticks{A} = %d, want 3", got)
+	}
+
+	// Replace the stack wholesale: the next run must report under B, not A.
+	b := &counter{name: "B"}
+	eng.Controllers = []Controller{b}
+	if _, err := eng.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(`np_controller_ticks_total{controller="A"}`).Value(); got != 3 {
+		t.Errorf("ticks{A} = %d after stack swap, want 3 (stale label)", got)
+	}
+	if got := reg.Counter(`np_controller_ticks_total{controller="B"}`).Value(); got != 3 {
+		t.Errorf("ticks{B} = %d, want 3", got)
+	}
+}
+
+// TestRewireInjectsTracerIntoNewStack checks the tracer half of the rewire:
+// a Traceable controller swapped in after the first run still gets the
+// engine's tracer before its first tick.
+func TestRewireInjectsTracerIntoNewStack(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 1, 200, 0.2)
+	rec := obs.NewRingRecorder(16)
+	w1 := &knobWriter{name: "W1"}
+	eng := New(cl, w1)
+	eng.Tracer = rec
+	if _, err := eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	w2 := &knobWriter{name: "W2"}
+	eng.Controllers = []Controller{w2}
+	if _, err := eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if w2.tracer == nil {
+		t.Fatal("swapped-in Traceable controller never received the tracer")
+	}
+}
+
+// snapBomb is a bomb that also snapshots, so it can sit in a
+// checkpointable stack.
+type snapBomb struct{ bomb }
+
+func (b *snapBomb) State() ([]byte, error)    { return state.Marshal(b.ticks) }
+func (b *snapBomb) Restore(data []byte) error { return state.Unmarshal(data, &b.ticks) }
+
+// TestRewireThroughRestoreAndDegrade drives the two real mutation paths the
+// fingerprint exists for. First, degraded mode: after a crash disables a
+// controller, replacing the stack with a different-shaped one must reset the
+// per-index fault masks — a carried-over mask would disable an innocent
+// controller by index. Second, snapshot restore: a rebuilt stack (fresh
+// instances, same names) restored from the old engine's snapshot must be
+// re-wired and continue counting under the right labels.
+func TestRewireThroughRestoreAndDegrade(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 200, 0.3)
+	reg := obs.NewRegistry()
+	eng := New(cl, &snapBomb{bomb{name: "boomer", at: 1}}, &counter{name: "A"})
+	eng.Metrics = reg
+	eng.FaultPolicy = FaultDegrade
+	if _, err := eng.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Disabled(); len(d) != 1 || d[0] != "boomer" {
+		t.Fatalf("Disabled() = %v, want [boomer]", d)
+	}
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different-shaped stack: fault masks must not survive by index.
+	c := &counter{name: "C"}
+	eng.Controllers = []Controller{c}
+	if _, err := eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Disabled(); len(d) != 0 {
+		t.Errorf("Disabled() = %v after stack replacement, want none", d)
+	}
+	if c.ticks != 2 {
+		t.Errorf("replacement controller ran %d ticks, want 2", c.ticks)
+	}
+	if got := reg.Counter(`np_controller_ticks_total{controller="C"}`).Value(); got != 2 {
+		t.Errorf("ticks{C} = %d, want 2", got)
+	}
+
+	// Restore path: a same-shaped rebuilt stack continues from the snapshot,
+	// including its disabled mask, and is wired fresh.
+	a2 := &counter{name: "A"}
+	eng.Controllers = []Controller{&snapBomb{bomb{name: "boomer", at: -1}}, a2}
+	if err := eng.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if d := eng.Disabled(); len(d) != 1 || d[0] != "boomer" {
+		t.Errorf("Disabled() = %v after restore, want [boomer]", d)
+	}
+	// The snapshot carried A's 4 ticks; 3 more ran after the restore.
+	if a2.ticks != 7 {
+		t.Errorf("restored controller at %d ticks, want 7 (4 restored + 3 run)", a2.ticks)
+	}
+}

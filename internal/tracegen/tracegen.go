@@ -198,6 +198,23 @@ func AllMixes() []Mix {
 	return []Mix{Mix180, Mix60L, Mix60M, Mix60H, Mix60HH, Mix60HHH}
 }
 
+// ScaleMix names a synthetic fleet-scale mix of n workloads: the Mix180
+// blend (two-thirds low, one-third medium utilization) scaled to any
+// population. Used by the E17 scale experiment and BenchmarkScale10k.
+func ScaleMix(n int) Mix { return Mix(fmt.Sprintf("scale%d", n)) }
+
+// scaleMixSize parses a ScaleMix name; ok is false for the canonical mixes.
+func scaleMixSize(mix Mix) (n int, ok bool) {
+	var parsed int
+	if _, err := fmt.Sscanf(string(mix), "scale%d", &parsed); err != nil || parsed <= 0 {
+		return 0, false
+	}
+	if string(mix) != fmt.Sprintf("scale%d", parsed) {
+		return 0, false
+	}
+	return parsed, true
+}
+
 // BuildMix generates a canonical mix at the given length and seed.
 // The 180 mix blends levels like the nine-enterprise corpus (mostly low,
 // some medium); 60L/M/H scale one level; 60HH/HHH stack traces.
@@ -230,6 +247,29 @@ func BuildMix(mix Mix, ticks int, seed int64) (*trace.Set, error) {
 	case Mix60HHH:
 		set, err := Generate(60, Params{Ticks: ticks, Seed: seed, Level: 0.85, Stack: 3})
 		return named(mix, set, err)
+	}
+	if n, ok := scaleMixSize(mix); ok {
+		// The Mix180 blend generalized to n workloads: two-thirds low-level,
+		// the rest medium, seeds split the same way.
+		nLo := 2 * n / 3
+		nMid := n - nLo
+		set := &trace.Set{Name: string(mix)}
+		if nLo > 0 {
+			lo, err := Generate(nLo, Params{Ticks: ticks, Seed: seed, Level: 0.55})
+			if err != nil {
+				return nil, err
+			}
+			set.Traces = append(set.Traces, lo.Traces...)
+		}
+		if nMid > 0 {
+			mid, err := Generate(nMid, Params{Ticks: ticks, Seed: seed + 1, Level: 0.95})
+			if err != nil {
+				return nil, err
+			}
+			set.Traces = append(set.Traces, mid.Traces...)
+		}
+		renumber(set)
+		return set, nil
 	}
 	return nil, fmt.Errorf("tracegen: unknown mix %q", mix)
 }

@@ -8,7 +8,7 @@ COVER_PKG    = ./internal/obs
 COVER_MIN    = 80.0
 COVER_OUT    = coverage.out
 
-.PHONY: all build test race bench check fmt vet cover soak verify
+.PHONY: all build test race bench check fmt vet cover soak verify lint
 
 all: check
 
@@ -23,7 +23,7 @@ test:
 # of the 10k-fleet benchmark (so the sharded scale path cannot rot between
 # full bench runs) — the checks a reviewer assumes are green before
 # reading a line.
-verify:
+verify: lint
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
@@ -32,6 +32,21 @@ verify:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -run '^$$' -bench 'BenchmarkScale10k' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkScale100k' -benchtime 1x .
+
+# lint enforces the columnar-store API boundary: the per-server struct
+# (cluster.Server) and the struct slice (cl.Servers) were removed in the
+# struct-of-arrays redesign, and nothing outside internal/cluster may grow
+# them back or poke columns directly. The wire-format cluster.ServerState
+# (checkpoints) is explicitly allowed.
+lint:
+	@bad=$$(grep -rn --include='*.go' --exclude-dir=.git -E \
+		'cluster\.Server([^A-Za-z0-9_]|$$)|\bcl\.Servers\b' . \
+		| grep -v '^\./internal/cluster/' | grep -v 'cluster\.ServerState' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "removed cluster.Server API referenced outside internal/cluster:"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # race is the gate for the parallel experiment runner and the sharded tick
 # engine: every experiment test forces the concurrent worker-pool path, and

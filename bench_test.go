@@ -247,6 +247,46 @@ func BenchmarkScale10k(b *testing.B) {
 	}
 }
 
+// BenchmarkScale100k is the E18 wall-clock companion: the BenchmarkScale10k
+// setup at a 100k-server fleet. The acceptance bar for the columnar cluster
+// store is ≥2x tick throughput here over the AoS baseline recorded in
+// EXPERIMENTS.md.
+func BenchmarkScale100k(b *testing.B) {
+	const ticks = 60
+	set, err := tracegen.BuildMix(tracegen.ScaleMix(100000), ticks, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := experiments.Scenario{Model: "BladeA", Budgets: experiments.Base201510(),
+		Ticks: ticks, Seed: 42, Traces: set}
+	shardCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		shardCounts = append(shardCounts, n)
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := sc.BuildCluster()
+				if err != nil {
+					b.Fatal(err)
+				}
+				spec := core.NoVMC()
+				spec.Shards = shards
+				eng, _, err := core.Build(cl, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Run(ticks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkBinpack180 measures one VMC packing problem: 180 VMs, 180 bins.
 func BenchmarkBinpack180(b *testing.B) {
 	items := make([]binpack.Item, 180)

@@ -60,20 +60,19 @@ func run(label string, coordinated bool) {
 		log.Fatal(err)
 	}
 
-	s := cl.Servers[0]
 	over := 0
 	fmt.Printf("%s\n", label)
-	fmt.Printf("  budget %.0f W; power trace (one char per 10 ticks, # = over budget):\n  ", s.StaticCap)
+	fmt.Printf("  budget %.0f W; power trace (one char per 10 ticks, # = over budget):\n  ", cl.StaticCap(0))
 	var bar strings.Builder
 	for k := 0; k < ticks; k++ {
 		if _, err := engine.Run(1); err != nil {
 			log.Fatal(err)
 		}
-		if s.Power > s.StaticCap {
+		if cl.Power(0) > cl.StaticCap(0) {
 			over++
 		}
 		if k%10 == 9 {
-			if s.Power > s.StaticCap {
+			if cl.Power(0) > cl.StaticCap(0) {
 				bar.WriteByte('#')
 			} else {
 				bar.WriteByte('.')
@@ -82,5 +81,5 @@ func run(label string, coordinated bool) {
 	}
 	fmt.Println(bar.String())
 	fmt.Printf("  over budget %.0f%% of the time; final state P%d at %.0f W\n",
-		100*float64(over)/ticks, s.PState, s.Power)
+		100*float64(over)/ticks, cl.PState(0), cl.Power(0))
 }

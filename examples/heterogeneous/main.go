@@ -54,11 +54,11 @@ func main() {
 
 	res := engine.Collector.Finalize(0)
 	bladesOn, serversOn := 0, 0
-	for _, s := range cl.Servers {
-		if !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if !cl.On(i) {
 			continue
 		}
-		if s.Model.Name == "BladeA" {
+		if cl.ServerModel(i).Name == "BladeA" {
 			bladesOn++
 		} else {
 			serversOn++

@@ -74,6 +74,6 @@ func main() {
 	fmt.Printf("  performance loss %7.1f %%\n", 100*res.PerfLoss)
 	fmt.Printf("  budget violations (server/enclosure/group) %.1f / %.1f / %.1f %%\n",
 		100*res.ViolSM, 100*res.ViolEM, 100*res.ViolGM)
-	fmt.Printf("  servers on       %7.1f of %d\n", res.AvgServersOn, len(cl.Servers))
+	fmt.Printf("  servers on       %7.1f of %d\n", res.AvgServersOn, cl.NumServers())
 	fmt.Printf("  VM migrations    %7d\n", handles.VMC.Migrations())
 }

@@ -52,8 +52,8 @@ func DropSensors(from, to int, servers ...int) []sim.Event {
 			At:   k,
 			Name: fmt.Sprintf("sensor-drop-%d", k),
 			Apply: func(cl *cluster.Cluster) {
-				for _, s := range pickServers(cl, servers) {
-					s.Util, s.RealUtil, s.Power = 0, 0, 0
+				for _, id := range pickServers(cl, servers) {
+					cl.SetSensorReadings(id, 0, 0, 0)
 				}
 			},
 		})
@@ -78,14 +78,13 @@ func NoiseSensors(from, to int, amp float64, seed int64, servers ...int) []sim.E
 			At:   k,
 			Name: fmt.Sprintf("sensor-noise-%d", k),
 			Apply: func(cl *cluster.Cluster) {
-				for _, s := range pickServers(cl, servers) {
-					f := 1 + amp*(2*rng.Uniform(seed, tick, s.ID)-1)
-					s.Util *= f
-					if s.Util > 1 {
-						s.Util = 1
+				for _, id := range pickServers(cl, servers) {
+					f := 1 + amp*(2*rng.Uniform(seed, tick, id)-1)
+					u := cl.Util(id) * f
+					if u > 1 {
+						u = 1
 					}
-					s.RealUtil *= f
-					s.Power *= f
+					cl.SetSensorReadings(id, u, cl.RealUtil(id)*f, cl.Power(id)*f)
 				}
 			},
 		})
@@ -95,14 +94,19 @@ func NoiseSensors(from, to int, amp float64, seed int64, servers ...int) []sim.E
 
 // pickServers resolves a server-index filter against the cluster; an empty
 // filter selects every server, out-of-range indices are skipped.
-func pickServers(cl *cluster.Cluster, ids []int) []*cluster.Server {
+func pickServers(cl *cluster.Cluster, ids []int) []int {
+	n := cl.NumServers()
 	if len(ids) == 0 {
-		return cl.Servers
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
 	}
-	out := make([]*cluster.Server, 0, len(ids))
+	out := make([]int, 0, len(ids))
 	for _, id := range ids {
-		if id >= 0 && id < len(cl.Servers) {
-			out = append(out, cl.Servers[id])
+		if id >= 0 && id < n {
+			out = append(out, id)
 		}
 	}
 	return out

@@ -26,13 +26,13 @@ func TestFlapServerSchedule(t *testing.T) {
 	if _, err := eng.Run(12); err != nil {
 		t.Fatal(err)
 	}
-	if cl.Servers[1].On {
+	if cl.On(1) {
 		t.Error("server on inside a fail window")
 	}
 	if _, err := eng.Run(5); err != nil {
 		t.Fatal(err)
 	}
-	if !cl.Servers[1].On {
+	if !cl.On(1) {
 		t.Error("server not restored after the fail window")
 	}
 }
@@ -40,7 +40,7 @@ func TestFlapServerSchedule(t *testing.T) {
 func TestDropSensorsZeroesReadingsForOneTick(t *testing.T) {
 	cl := testutil.StandaloneCluster(t, 2, 100, 0.5)
 	cl.Advance(0)
-	if cl.Servers[0].Power == 0 {
+	if cl.Power(0) == 0 {
 		t.Fatal("fixture: expected nonzero power")
 	}
 	evs := DropSensors(1, 2, 0)
@@ -48,16 +48,15 @@ func TestDropSensorsZeroesReadingsForOneTick(t *testing.T) {
 		t.Fatalf("events = %d, want 1 (window of one tick)", len(evs))
 	}
 	evs[0].Apply(cl)
-	s := cl.Servers[0]
-	if s.Util != 0 || s.RealUtil != 0 || s.Power != 0 {
-		t.Errorf("readings not dropped: util %v realutil %v power %v", s.Util, s.RealUtil, s.Power)
+	if cl.Util(0) != 0 || cl.RealUtil(0) != 0 || cl.Power(0) != 0 {
+		t.Errorf("readings not dropped: util %v realutil %v power %v", cl.Util(0), cl.RealUtil(0), cl.Power(0))
 	}
-	if cl.Servers[1].Power == 0 {
+	if cl.Power(1) == 0 {
 		t.Error("dropout leaked onto an unlisted server")
 	}
 	// The plant recomputes true readings on the next Advance.
 	cl.Advance(1)
-	if s.Power == 0 {
+	if cl.Power(0) == 0 {
 		t.Error("dropout outlived its tick")
 	}
 }
@@ -69,7 +68,7 @@ func TestNoiseSensorsDeterministicAndBounded(t *testing.T) {
 		if _, err := eng.Run(20); err != nil {
 			t.Fatal(err)
 		}
-		return []float64{cl.Servers[0].Power, cl.Servers[1].Power}
+		return []float64{cl.Power(0), cl.Power(1)}
 	}
 	a, b := run(), run()
 	if a[0] != b[0] || a[1] != b[1] {
@@ -79,8 +78,8 @@ func TestNoiseSensorsDeterministicAndBounded(t *testing.T) {
 	cl.Advance(0)
 	for _, ev := range NoiseSensors(0, 50, 0.5, 3) {
 		ev.Apply(cl)
-		if cl.Servers[0].Util > 1 {
-			t.Fatalf("noisy utilization %v above 1", cl.Servers[0].Util)
+		if cl.Util(0) > 1 {
+			t.Fatalf("noisy utilization %v above 1", cl.Util(0))
 		}
 	}
 }

@@ -50,8 +50,8 @@ func mustNew(t *testing.T, cfg Config, set *trace.Set) *Cluster {
 
 func TestNewTopology(t *testing.T) {
 	c := mustNew(t, smallCfg(), smallSet(6, 0.3))
-	if len(c.Servers) != 6 {
-		t.Fatalf("servers = %d", len(c.Servers))
+	if c.NumServers() != 6 {
+		t.Fatalf("servers = %d", c.NumServers())
 	}
 	if len(c.Enclosures) != 1 || len(c.Enclosures[0].Servers) != 4 {
 		t.Fatalf("enclosure layout wrong: %+v", c.Enclosures)
@@ -59,14 +59,14 @@ func TestNewTopology(t *testing.T) {
 	if got := c.StandaloneServers(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
 		t.Fatalf("standalone = %v", got)
 	}
-	for i, s := range c.Servers {
-		if i < 4 && s.Enclosure != 0 {
-			t.Errorf("server %d enclosure = %d", i, s.Enclosure)
+	for i := 0; i < c.NumServers(); i++ {
+		if i < 4 && c.EnclosureOf(i) != 0 {
+			t.Errorf("server %d enclosure = %d", i, c.EnclosureOf(i))
 		}
-		if i >= 4 && s.Enclosure != -1 {
+		if i >= 4 && c.EnclosureOf(i) != -1 {
 			t.Errorf("server %d should be standalone", i)
 		}
-		if !s.On || s.PState != 0 {
+		if !c.On(i) || c.PState(i) != 0 {
 			t.Errorf("server %d should boot on at P0", i)
 		}
 	}
@@ -106,12 +106,12 @@ func TestBudgetDerivation(t *testing.T) {
 	c := mustNew(t, smallCfg(), smallSet(6, 0.3))
 	m := model.BladeA()
 	wantLoc := 0.9 * m.MaxPower()
-	for _, s := range c.Servers {
-		if math.Abs(s.StaticCap-wantLoc) > 1e-9 {
-			t.Errorf("server %d cap = %v, want %v", s.ID, s.StaticCap, wantLoc)
+	for i := 0; i < c.NumServers(); i++ {
+		if math.Abs(c.StaticCap(i)-wantLoc) > 1e-9 {
+			t.Errorf("server %d cap = %v, want %v", i, c.StaticCap(i), wantLoc)
 		}
-		if s.DynCap != s.StaticCap {
-			t.Errorf("server %d dyn cap should start at static", s.ID)
+		if c.DynCap(i) != c.StaticCap(i) {
+			t.Errorf("server %d dyn cap should start at static", i)
 		}
 	}
 	wantEnc := 0.85 * 4 * m.MaxPower()
@@ -133,18 +133,18 @@ func TestAdvanceComputesSensors(t *testing.T) {
 	c.Advance(0)
 	m := cfg.Model
 	wantFD := 0.3 * 1.1
-	for _, s := range c.Servers {
-		if math.Abs(s.DemandSum-wantFD) > 1e-12 {
-			t.Errorf("server %d demand = %v, want %v", s.ID, s.DemandSum, wantFD)
+	for i := 0; i < c.NumServers(); i++ {
+		if math.Abs(c.DemandSum(i)-wantFD) > 1e-12 {
+			t.Errorf("server %d demand = %v, want %v", i, c.DemandSum(i), wantFD)
 		}
-		if math.Abs(s.Util-wantFD) > 1e-12 { // P0 capacity is 1.0
-			t.Errorf("server %d util = %v", s.ID, s.Util)
+		if math.Abs(c.Util(i)-wantFD) > 1e-12 { // P0 capacity is 1.0
+			t.Errorf("server %d util = %v", i, c.Util(i))
 		}
-		if math.Abs(s.Power-m.Power(0, wantFD)) > 1e-12 {
-			t.Errorf("server %d power = %v", s.ID, s.Power)
+		if math.Abs(c.Power(i)-m.Power(0, wantFD)) > 1e-12 {
+			t.Errorf("server %d power = %v", i, c.Power(i))
 		}
-		if math.Abs(s.RealUtil-wantFD) > 1e-12 {
-			t.Errorf("server %d real util = %v", s.ID, s.RealUtil)
+		if math.Abs(c.RealUtil(i)-wantFD) > 1e-12 {
+			t.Errorf("server %d real util = %v", i, c.RealUtil(i))
 		}
 	}
 	if math.Abs(c.GroupPower-6*m.Power(0, wantFD)) > 1e-9 {
@@ -163,17 +163,17 @@ func TestAdvanceDeepPStateSaturates(t *testing.T) {
 	cfg := smallCfg()
 	c := mustNew(t, cfg, smallSet(6, 0.7))
 	deep := cfg.Model.NumPStates() - 1
-	for _, s := range c.Servers {
-		s.PState = deep // capacity 0.533 < demand 0.77
+	for i := 0; i < c.NumServers(); i++ {
+		c.SetPState(i, deep) // capacity 0.533 < demand 0.77
 	}
 	c.Advance(0)
 	capDeep := cfg.Model.Capacity(deep)
-	for _, s := range c.Servers {
-		if s.Util != 1 {
-			t.Errorf("server %d util = %v, want saturation", s.ID, s.Util)
+	for i := 0; i < c.NumServers(); i++ {
+		if c.Util(i) != 1 {
+			t.Errorf("server %d util = %v, want saturation", i, c.Util(i))
 		}
-		if math.Abs(s.RealUtil-capDeep) > 1e-12 {
-			t.Errorf("server %d real util = %v, want %v", s.ID, s.RealUtil, capDeep)
+		if math.Abs(c.RealUtil(i)-capDeep) > 1e-12 {
+			t.Errorf("server %d real util = %v, want %v", i, c.RealUtil(i), capDeep)
 		}
 	}
 	// Perf loss: each VM demands 0.7 raw but the server serves only
@@ -196,8 +196,8 @@ func TestMoveBookkeeping(t *testing.T) {
 	if c.VMs[0].Server != 1 {
 		t.Errorf("vm 0 on server %d", c.VMs[0].Server)
 	}
-	if len(c.Servers[0].VMs) != 0 || len(c.Servers[1].VMs) != 2 {
-		t.Errorf("placement lists wrong: %v / %v", c.Servers[0].VMs, c.Servers[1].VMs)
+	if len(c.ServerVMs(0)) != 0 || len(c.ServerVMs(1)) != 2 {
+		t.Errorf("placement lists wrong: %v / %v", c.ServerVMs(0), c.ServerVMs(1))
 	}
 	if c.VMs[0].MigratingUntil != 15 {
 		t.Errorf("MigratingUntil = %d, want 15", c.VMs[0].MigratingUntil)
@@ -248,12 +248,12 @@ func TestPowerOffOnlyEmpty(t *testing.T) {
 	if err := c.PowerOff(0); err != nil {
 		t.Fatal(err)
 	}
-	if c.Servers[0].On {
+	if c.On(0) {
 		t.Error("server 0 still on")
 	}
 	c.Advance(1)
-	if c.Servers[0].Power != 0 {
-		t.Errorf("off server draws %v W", c.Servers[0].Power)
+	if c.Power(0) != 0 {
+		t.Errorf("off server draws %v W", c.Power(0))
 	}
 	if c.OnCount() != 5 {
 		t.Errorf("OnCount = %d", c.OnCount())
@@ -262,15 +262,16 @@ func TestPowerOffOnlyEmpty(t *testing.T) {
 	if err := c.Move(1, 0, 2); err != nil {
 		t.Fatal(err)
 	}
-	if !c.Servers[0].On || c.Servers[0].PState != 0 {
+	if !c.On(0) || c.PState(0) != 0 {
 		t.Error("destination not powered on at P0")
 	}
 }
 
 func TestOffServerLosesAllWork(t *testing.T) {
 	c := mustNew(t, smallCfg(), smallSet(6, 0.2))
-	// Force the failure mode directly (bypassing PowerOff's guard).
-	c.Servers[0].On = false
+	// Force the failure mode directly (bypassing PowerOff's guard): the test
+	// is in-package, so it can corrupt the column the way a bug would.
+	c.on[0] = false
 	c.Advance(0)
 	if err := c.CheckInvariants(); err == nil {
 		t.Error("invariant check should flag VMs on an off server")
@@ -287,7 +288,7 @@ func TestSetModelHeterogeneous(t *testing.T) {
 	if err := c.SetModel(5, b); err != nil {
 		t.Fatal(err)
 	}
-	if c.Servers[5].Model.Name != "ServerB" {
+	if c.ServerModel(5).Name != "ServerB" {
 		t.Error("model not swapped")
 	}
 	// Budgets must reflect the new mix.
@@ -299,12 +300,12 @@ func TestSetModelHeterogeneous(t *testing.T) {
 		t.Error("bad index accepted")
 	}
 	// P-state index clamped when the new ladder is shorter.
-	c.Servers[4].PState = 4
+	c.SetPState(4, 4)
 	if err := c.SetModel(4, model.BladeA().TwoExtremes()); err != nil {
 		t.Fatal(err)
 	}
-	if c.Servers[4].PState > 1 {
-		t.Errorf("p-state %d not clamped", c.Servers[4].PState)
+	if c.PState(4) > 1 {
+		t.Errorf("p-state %d not clamped", c.PState(4))
 	}
 }
 
@@ -313,5 +314,81 @@ func TestCheckInvariantsCatchesCorruption(t *testing.T) {
 	c.VMs[0].Server = 3 // lie about placement
 	if err := c.CheckInvariants(); err == nil {
 		t.Error("mismatched placement not caught")
+	}
+}
+
+// freshStats forces a recompute of the aggregate from the current sensor
+// columns, bypassing the cache — the oracle for the staleness tests below.
+func freshStats(c *Cluster) FleetStats {
+	c.statsValid = false
+	return c.Stats()
+}
+
+// TestStatsNeverStale is the regression contract for the single-choke-point
+// invalidation (invalidateStats): after every mutator, the cached FleetStats
+// a caller observes must equal a from-scratch recompute. A mutator that
+// forgets to invalidate leaves the pre-mutation aggregate in the cache and
+// fails the comparison.
+func TestStatsNeverStale(t *testing.T) {
+	c := mustNew(t, smallCfg(), smallSet(6, 0.5))
+	c.Advance(0)
+	saved := c.State() // pre-mutation snapshot for the RestoreState step
+
+	steps := []struct {
+		name   string
+		mutate func()
+	}{
+		{"SetSensorReadings", func() { c.SetSensorReadings(0, 1, 1, 500) }},
+		{"SetStaticCap", func() { c.SetStaticCap(0, 1) }},
+		{"SetPState", func() { c.SetPState(1, 3) }},
+		{"Move", func() {
+			if err := c.Move(0, 1, 1); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PowerOff", func() {
+			if err := c.PowerOff(0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"PowerOn", func() { c.PowerOn(0) }},
+		{"ForceOff", func() { c.ForceOff(5) }},
+		{"SetModel", func() {
+			if err := c.SetModel(2, model.ServerB()); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"ScaleDemand", func() { c.ScaleDemand(1.5) }},
+		{"RestoreState", func() {
+			if err := c.RestoreState(saved); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, s := range steps {
+		s.mutate()
+		got := c.Stats()
+		if want := freshStats(c); got != want {
+			t.Errorf("%s: observed stale stats:\n got %+v\nwant %+v", s.name, got, want)
+		}
+		// The cache must also be coherent after the next plant evaluation.
+		c.Advance(c.LastTick + 1)
+		got = c.Stats()
+		if want := freshStats(c); got != want {
+			t.Errorf("%s: stale stats after Advance:\n got %+v\nwant %+v", s.name, got, want)
+		}
+	}
+
+	// Direct observability check: a power toggle must show up immediately,
+	// not at the next Advance.
+	if err := c.Move(3, 4, c.LastTick); err != nil { // evacuate so PowerOff is legal
+		t.Fatal(err)
+	}
+	before := c.Stats().ServersOn
+	if err := c.PowerOff(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().ServersOn; got != before-1 {
+		t.Errorf("ServersOn = %d after PowerOff, want %d", got, before-1)
 	}
 }

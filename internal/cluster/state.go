@@ -56,10 +56,14 @@ type State struct {
 	LastTick      int
 }
 
-// State deep-copies the cluster's mutable state.
+// State deep-copies the cluster's mutable state. The wire layout (field
+// names and shapes) predates the columnar store and is frozen: checkpoints
+// written by the array-of-structs engine restore onto the columnar cluster
+// and vice versa (the aos-golden artifacts pin this).
 func (c *Cluster) State() State {
+	n := c.NumServers()
 	st := State{
-		Servers:       make([]ServerState, len(c.Servers)),
+		Servers:       make([]ServerState, n),
 		Enclosures:    make([]EnclosureState, len(c.Enclosures)),
 		VMs:           make([]VMState, len(c.VMs)),
 		StaticCapGrp:  c.StaticCapGrp,
@@ -68,18 +72,19 @@ func (c *Cluster) State() State {
 		DeliveredWork: c.DeliveredWork,
 		LastTick:      c.LastTick,
 	}
-	for i, s := range c.Servers {
+	for i := 0; i < n; i++ {
 		st.Servers[i] = ServerState{
-			On: s.On, PState: s.PState,
-			StaticCap: s.StaticCap, DynCap: s.DynCap,
-			Util: s.Util, RealUtil: s.RealUtil, Power: s.Power, DemandSum: s.DemandSum,
-			VMs: append([]int(nil), s.VMs...),
+			On: c.on[i], PState: c.pstate[i],
+			StaticCap: c.staticCap[i], DynCap: c.dynCap[i],
+			Util: c.util[i], RealUtil: c.realUtil[i], Power: c.power[i], DemandSum: c.demandSum[i],
+			VMs: append([]int(nil), c.srvVMs[i]...),
 		}
 	}
 	for i, e := range c.Enclosures {
 		st.Enclosures[i] = EnclosureState{StaticCap: e.StaticCap, DynCap: e.DynCap, Power: e.Power}
 	}
-	for i, vm := range c.VMs {
+	for i := range c.VMs {
+		vm := &c.VMs[i]
 		st.VMs[i] = VMState{Server: vm.Server, MigratingUntil: vm.MigratingUntil}
 		if vm.Trace.Mutated {
 			st.VMs[i].Demand = append([]float64(nil), vm.Trace.Demand...)
@@ -92,9 +97,9 @@ func (c *Cluster) State() State {
 // topology (same server, enclosure, and VM counts — i.e. one rebuilt from
 // the same scenario). It rejects shape mismatches instead of guessing.
 func (c *Cluster) RestoreState(st State) error {
-	if len(st.Servers) != len(c.Servers) {
+	if len(st.Servers) != c.NumServers() {
 		return fmt.Errorf("cluster: restore: %d servers in snapshot, cluster has %d",
-			len(st.Servers), len(c.Servers))
+			len(st.Servers), c.NumServers())
 	}
 	if len(st.Enclosures) != len(c.Enclosures) {
 		return fmt.Errorf("cluster: restore: %d enclosures in snapshot, cluster has %d",
@@ -112,20 +117,23 @@ func (c *Cluster) RestoreState(st State) error {
 		}
 	}
 	for i, ss := range st.Servers {
-		s := c.Servers[i]
-		s.On, s.PState = ss.On, ss.PState
-		s.StaticCap, s.DynCap = ss.StaticCap, ss.DynCap
-		s.Util, s.RealUtil, s.Power, s.DemandSum = ss.Util, ss.RealUtil, ss.Power, ss.DemandSum
-		s.VMs = append([]int(nil), ss.VMs...)
+		c.on[i], c.pstate[i] = ss.On, ss.PState
+		c.staticCap[i], c.dynCap[i] = ss.StaticCap, ss.DynCap
+		c.util[i], c.realUtil[i], c.power[i], c.demandSum[i] = ss.Util, ss.RealUtil, ss.Power, ss.DemandSum
+		c.srvVMs[i] = append([]int(nil), ss.VMs...)
 	}
 	for i, es := range st.Enclosures {
 		e := c.Enclosures[i]
 		e.StaticCap, e.DynCap, e.Power = es.StaticCap, es.DynCap, es.Power
 	}
+	c.migHigh = 0
 	for i, vs := range st.VMs {
-		vm := c.VMs[i]
+		vm := &c.VMs[i]
 		vm.Server = vs.Server
 		vm.MigratingUntil = vs.MigratingUntil
+		if vm.MigratingUntil > c.migHigh {
+			c.migHigh = vm.MigratingUntil
+		}
 		vm.Trace.Mutated = vs.Demand != nil
 		if vs.Demand != nil {
 			vm.Trace.Demand = append([]float64(nil), vs.Demand...)
@@ -136,6 +144,10 @@ func (c *Cluster) RestoreState(st State) error {
 	c.DemandWork = st.DemandWork
 	c.DeliveredWork = st.DeliveredWork
 	c.LastTick = st.LastTick
-	c.statsValid = false
+	// A snapshot does not carry the dirty-set bookkeeping — conservatively
+	// re-evaluate the whole fleet on the next Advance. Re-evaluation of
+	// unchanged servers is bit-transparent, so a resumed run still matches
+	// the uninterrupted one exactly.
+	c.markAllDirty()
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 
 	"nopower/internal/cluster"
 	"nopower/internal/control"
+	"nopower/internal/model"
 	"nopower/internal/obs"
 	"nopower/internal/state"
 )
@@ -42,7 +43,10 @@ type Controller struct {
 	// Lambda is the scaling gain λ.
 	Lambda float64
 
-	loops []*control.UtilizationLoop
+	// loops is a value slice: the per-server loop states live contiguously,
+	// matching the cluster's columnar layout (one cache-friendly stream per
+	// fleet walk instead of a pointer chase per server).
+	loops []control.UtilizationLoop
 	wasOn []bool
 	rRef0 float64
 	// nSteps is atomic: concurrent TickShard calls all add to it.
@@ -56,13 +60,14 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 		return nil, fmt.Errorf("ec: period %d", period)
 	}
 	c := &Controller{Period: period, Lambda: lambda, rRef0: rRef}
-	for _, s := range cl.Servers {
-		fMin := s.Model.MinFreq() / s.Model.MaxFreq()
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		m := cl.ServerModel(i)
+		fMin := m.MinFreq() / m.MaxFreq()
 		loop, err := control.NewUtilizationLoop(lambda, rRef, fMin, 1.0)
 		if err != nil {
-			return nil, fmt.Errorf("ec: server %d: %w", s.ID, err)
+			return nil, fmt.Errorf("ec: server %d: %w", i, err)
 		}
-		c.loops = append(c.loops, loop)
+		c.loops = append(c.loops, *loop)
 		c.wasOn = append(c.wasOn, true)
 	}
 	return c, nil
@@ -104,19 +109,23 @@ func (c *Controller) TickShard(k int, cl *cluster.Cluster, servers []int) {
 
 // tickServers advances the loops for the given server IDs (nil = all).
 func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
-	n := len(cl.Servers)
+	n := cl.NumServers()
 	if servers != nil {
 		n = len(servers)
 	}
 	steps := int64(0)
+	// Fleets are usually model-homogeneous (or model-clustered), so the
+	// per-model P0 frequency is hoisted across runs of servers sharing a
+	// model pointer instead of being re-derived per server.
+	var lastM *model.Model
+	maxF := 0.0
 	for j := 0; j < n; j++ {
 		i := j
 		if servers != nil {
 			i = servers[j]
 		}
-		s := cl.Servers[i]
-		loop := c.loops[i]
-		if !s.On {
+		loop := &c.loops[i]
+		if !cl.On(i) {
 			c.wasOn[i] = false
 			continue
 		}
@@ -128,16 +137,21 @@ func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
 			c.wasOn[i] = true
 		}
 		// Sensors from the previous interval: r and f_C in relative units.
-		loop.StepEC(s.Util, s.RealUtil)
-		old := s.PState
-		s.PState = s.Model.Quantize(loop.F * s.Model.MaxFreq())
+		loop.StepEC(cl.Util(i), cl.RealUtil(i))
+		m := cl.ServerModel(i)
+		if m != lastM {
+			lastM, maxF = m, m.MaxFreq()
+		}
+		old := cl.PState(i)
+		next := m.Quantize(loop.F * maxF)
+		cl.SetPState(i, next)
 		steps++
 		if c.tracer != nil {
 			// Every assignment is traced, not just changes: a same-value
 			// rewrite is still a claim on the shared knob, which is exactly
 			// what the conflict detector needs to see.
 			c.tracer.Emit(obs.Event{Tick: k, Controller: "EC", Actuator: obs.ActPState,
-				Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "utilization-loop"})
+				Target: i, Old: float64(old), New: float64(next), Reason: "utilization-loop"})
 		}
 	}
 	c.nSteps.Add(steps)
@@ -163,8 +177,8 @@ func (c *Controller) State() ([]byte, error) {
 		WasOn: append([]bool(nil), c.wasOn...),
 		Steps: int(c.nSteps.Load()),
 	}
-	for i, loop := range c.loops {
-		st.RRef[i], st.F[i] = loop.RRef, loop.F
+	for i := range c.loops {
+		st.RRef[i], st.F[i] = c.loops[i].RRef, c.loops[i].F
 	}
 	return state.Marshal(st)
 }
@@ -178,8 +192,8 @@ func (c *Controller) Restore(data []byte) error {
 	if len(st.RRef) != len(c.loops) || len(st.F) != len(c.loops) || len(st.WasOn) != len(c.loops) {
 		return fmt.Errorf("ec: state covers %d loops, controller has %d", len(st.RRef), len(c.loops))
 	}
-	for i, loop := range c.loops {
-		loop.RRef, loop.F = st.RRef[i], st.F[i]
+	for i := range c.loops {
+		c.loops[i].RRef, c.loops[i].F = st.RRef[i], st.F[i]
 	}
 	copy(c.wasOn, st.WasOn)
 	c.nSteps.Store(int64(st.Steps))

@@ -58,15 +58,14 @@ func TestThrottlesLightLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	run(cl, c, 200)
-	s := cl.Servers[0]
 	// f* = 0.33/0.75 = 0.44 -> quantized to 533 MHz (P4, capacity 0.533).
-	if s.PState != 4 {
-		t.Errorf("P-state = %d, want 4", s.PState)
+	if cl.PState(0) != 4 {
+		t.Errorf("P-state = %d, want 4", cl.PState(0))
 	}
-	if s.Util < 0.5 {
-		t.Errorf("utilization %v did not rise toward the target", s.Util)
+	if cl.Util(0) < 0.5 {
+		t.Errorf("utilization %v did not rise toward the target", cl.Util(0))
 	}
-	if s.Power >= cl.Servers[0].Model.Power(0, 0.33) {
+	if cl.Power(0) >= cl.ServerModel(0).Power(0, 0.33) {
 		t.Error("throttling did not reduce power")
 	}
 }
@@ -75,10 +74,10 @@ func TestThrottlesLightLoad(t *testing.T) {
 func TestHeavyLoadRunsFullSpeed(t *testing.T) {
 	cl := testCluster(t, 1, 0.9) // 0.99 demand incl. overhead
 	c, _ := New(cl, DefaultLambda, DefaultRRef, 1)
-	cl.Servers[0].PState = 4 // start throttled
+	cl.SetPState(0, 4) // start throttled
 	run(cl, c, 300)
-	if cl.Servers[0].PState != 0 {
-		t.Errorf("P-state = %d, want 0 under heavy load", cl.Servers[0].PState)
+	if cl.PState(0) != 0 {
+		t.Errorf("P-state = %d, want 0 under heavy load", cl.PState(0))
 	}
 }
 
@@ -88,12 +87,12 @@ func TestSetRRefThrottles(t *testing.T) {
 	cl := testCluster(t, 1, 0.7) // 0.77 with overhead
 	c, _ := New(cl, DefaultLambda, DefaultRRef, 1)
 	run(cl, c, 200)
-	before := cl.Servers[0].PState // f* = 0.77/0.75 ~ 1.0 -> P0
+	before := cl.PState(0) // f* = 0.77/0.75 ~ 1.0 -> P0
 	c.SetRRef(0, 1.4)
 	run(cl, c, 200)
-	if cl.Servers[0].PState <= before {
+	if cl.PState(0) <= before {
 		t.Errorf("raising r_ref did not deepen the P-state (%d -> %d)",
-			before, cl.Servers[0].PState)
+			before, cl.PState(0))
 	}
 	if got := c.RRef(0); got != 1.4 {
 		t.Errorf("RRef = %v", got)
@@ -107,9 +106,9 @@ func TestOverUnityRRefThrottlesSaturated(t *testing.T) {
 	c, _ := New(cl, DefaultLambda, DefaultRRef, 1)
 	c.SetRRef(0, 1.4)
 	run(cl, c, 300)
-	deep := cl.Servers[0].Model.NumPStates() - 1
-	if cl.Servers[0].PState != deep {
-		t.Errorf("P-state = %d, want deepest %d", cl.Servers[0].PState, deep)
+	deep := cl.ServerModel(0).NumPStates() - 1
+	if cl.PState(0) != deep {
+		t.Errorf("P-state = %d, want deepest %d", cl.PState(0), deep)
 	}
 }
 
@@ -136,13 +135,13 @@ func TestSkipsOffServersAndResetsOnBoot(t *testing.T) {
 	}
 	// Raise its loop target artificially; the reboot must reset it.
 	c.SetRRef(1, 1.4)
-	frozen := cl.Servers[1].PState
+	frozen := cl.PState(1)
 	for k := 200; k < 250; k++ {
 		c.Tick(k, cl)
 		cl.Advance(k)
 	}
-	if cl.Servers[1].PState != frozen {
-		t.Errorf("EC touched an off server's P-state (%d -> %d)", frozen, cl.Servers[1].PState)
+	if cl.PState(1) != frozen {
+		t.Errorf("EC touched an off server's P-state (%d -> %d)", frozen, cl.PState(1))
 	}
 	// Power it back on (cluster sets P0); the EC must restart from full
 	// frequency with the default target instead of its stale state.
@@ -160,12 +159,12 @@ func TestSkipsOffServersAndResetsOnBoot(t *testing.T) {
 func TestQuantizationTracksLoop(t *testing.T) {
 	cl := testCluster(t, 1, 0.5)
 	c, _ := New(cl, DefaultLambda, DefaultRRef, 1)
-	m := cl.Servers[0].Model
+	m := cl.ServerModel(0)
 	for k := 0; k < 100; k++ {
 		c.Tick(k, cl)
 		want := m.Quantize(c.loops[0].F * m.MaxFreq())
-		if cl.Servers[0].PState != want {
-			t.Fatalf("tick %d: P-state %d, quantized loop says %d", k, cl.Servers[0].PState, want)
+		if cl.PState(0) != want {
+			t.Fatalf("tick %d: P-state %d, quantized loop says %d", k, cl.PState(0), want)
 		}
 		cl.Advance(k)
 	}

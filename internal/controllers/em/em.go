@@ -86,28 +86,26 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		}
 		children := c.scratch[:len(e.Servers)]
 		for i, sid := range e.Servers {
-			s := cl.Servers[sid]
-			children[i] = policy.Child{ID: sid, Power: s.Power, MaxPower: s.Model.MaxPower()}
+			children[i] = policy.Child{ID: sid, Power: cl.Power(sid), MaxPower: cl.ServerModel(sid).MaxPower()}
 		}
 		shares := c.Policy.Divide(capEnc, children)
 		for i, sid := range e.Servers {
-			s := cl.Servers[sid]
-			old := s.DynCap
+			old := cl.DynCap(sid)
 			reason := "min-rule-share"
 			switch c.Mode {
 			case Coordinated:
 				rec := shares[i]
-				if rec > s.StaticCap {
-					rec = s.StaticCap // min(CAP_LOC, recommendation)
+				if s := cl.StaticCap(sid); rec > s {
+					rec = s // min(CAP_LOC, recommendation)
 				}
-				s.DynCap = rec
+				cl.SetDynCap(sid, rec)
 			case Uncoordinated:
-				s.DynCap = shares[i] // raw overwrite, no min
+				cl.SetDynCap(sid, shares[i]) // raw overwrite, no min
 				reason = "raw-share"
 			}
 			if c.tracer != nil {
 				c.tracer.Emit(obs.Event{Tick: k, Controller: "EM", Actuator: obs.ActServerCap,
-					Target: sid, Old: old, New: s.DynCap, Reason: reason})
+					Target: sid, Old: old, New: cl.DynCap(sid), Reason: reason})
 			}
 		}
 	}
@@ -121,8 +119,7 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
 	for _, e := range cl.Enclosures {
 		for _, sid := range e.Servers {
-			s := cl.Servers[sid]
-			s.DynCap = s.StaticCap
+			cl.SetDynCap(sid, cl.StaticCap(sid))
 		}
 	}
 }

@@ -29,11 +29,11 @@ func TestCoordinatedAllocation(t *testing.T) {
 	c, _ := New(Coordinated, policy.Proportional{}, 25)
 	c.Tick(0, cl)
 	sum := 0.0
-	for _, s := range cl.Servers {
-		if s.DynCap > s.StaticCap {
-			t.Errorf("server %d dyn cap %.1f above static %.1f", s.ID, s.DynCap, s.StaticCap)
+	for i := 0; i < cl.NumServers(); i++ {
+		if cl.DynCap(i) > cl.StaticCap(i) {
+			t.Errorf("server %d dyn cap %.1f above static %.1f", i, cl.DynCap(i), cl.StaticCap(i))
 		}
-		sum += s.DynCap
+		sum += cl.DynCap(i)
 	}
 	if sum > cl.Enclosures[0].StaticCap+1e-9 {
 		t.Errorf("allocated %.1f W above enclosure budget %.1f W", sum, cl.Enclosures[0].StaticCap)
@@ -48,8 +48,8 @@ func TestCoordinatedUsesGMRecommendation(t *testing.T) {
 	c, _ := New(Coordinated, policy.Proportional{}, 25)
 	c.Tick(0, cl)
 	sum := 0.0
-	for _, s := range cl.Servers {
-		sum += s.DynCap
+	for i := 0; i < cl.NumServers(); i++ {
+		sum += cl.DynCap(i)
 	}
 	if sum > 100+1e-9 {
 		t.Errorf("allocated %.1f W above the GM's 100 W recommendation", sum)
@@ -64,9 +64,9 @@ func TestUncoordinatedIgnoresMinRule(t *testing.T) {
 	c, _ := New(Uncoordinated, policy.FairShare{}, 25)
 	c.Tick(0, cl)
 	// Fair share of the full static budget: 0.85*200/2 = 85 each.
-	for _, s := range cl.Servers {
-		if math.Abs(s.DynCap-85) > 1e-9 {
-			t.Errorf("server %d dyn cap %.1f, want raw 85", s.ID, s.DynCap)
+	for i := 0; i < cl.NumServers(); i++ {
+		if math.Abs(cl.DynCap(i)-85) > 1e-9 {
+			t.Errorf("server %d dyn cap %.1f, want raw 85", i, cl.DynCap(i))
 		}
 	}
 }
@@ -77,13 +77,13 @@ func TestUncoordinatedCanExceedStaticCap(t *testing.T) {
 	cl := testutil.EnclosureCluster(t, 1, 2, 0, 100, 0.5)
 	// Skew power so proportional share gives one blade nearly everything.
 	cl.Advance(0)
-	cl.Servers[0].Power = 100
-	cl.Servers[1].Power = 1
+	cl.SetSensorReadings(0, cl.Util(0), cl.RealUtil(0), 100)
+	cl.SetSensorReadings(1, cl.Util(1), cl.RealUtil(1), 1)
 	c, _ := New(Uncoordinated, policy.Proportional{}, 25)
 	c.Tick(0, cl)
-	if cl.Servers[0].DynCap <= cl.Servers[0].StaticCap {
+	if cl.DynCap(0) <= cl.StaticCap(0) {
 		t.Errorf("expected raw share %.1f above static cap %.1f",
-			cl.Servers[0].DynCap, cl.Servers[0].StaticCap)
+			cl.DynCap(0), cl.StaticCap(0))
 	}
 }
 
@@ -113,9 +113,9 @@ func TestNoEnclosuresIsNoop(t *testing.T) {
 	cl.Advance(0)
 	c, _ := New(Coordinated, nil, 25)
 	c.Tick(0, cl)
-	for _, s := range cl.Servers {
-		if s.DynCap != s.StaticCap {
-			t.Errorf("EM touched standalone server %d", s.ID)
+	for i := 0; i < cl.NumServers(); i++ {
+		if cl.DynCap(i) != cl.StaticCap(i) {
+			t.Errorf("EM touched standalone server %d", i)
 		}
 	}
 }

@@ -84,16 +84,15 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	for _, e := range cl.Enclosures {
 		maxP := 0.0
 		for _, sid := range e.Servers {
-			maxP += cl.Servers[sid].Model.MaxPower()
+			maxP += cl.ServerModel(sid).MaxPower()
 		}
 		children = append(children, policy.Child{ID: e.ID, Power: e.Power, MaxPower: maxP})
 	}
 	for _, sid := range standalone {
-		s := cl.Servers[sid]
 		// Offset standalone IDs past the enclosures so FIFO ordering is
 		// stable and unambiguous.
 		children = append(children, policy.Child{
-			ID: len(cl.Enclosures) + sid, Power: s.Power, MaxPower: s.Model.MaxPower(),
+			ID: len(cl.Enclosures) + sid, Power: cl.Power(sid), MaxPower: cl.ServerModel(sid).MaxPower(),
 		})
 	}
 
@@ -121,16 +120,15 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		}
 	}
 	for j, sid := range standalone {
-		s := cl.Servers[sid]
-		old := s.DynCap
+		old := cl.DynCap(sid)
 		rec := shares[len(cl.Enclosures)+j]
-		if c.Mode == Coordinated && rec > s.StaticCap {
-			rec = s.StaticCap // min(CAP_LOC, recommendation)
+		if s := cl.StaticCap(sid); c.Mode == Coordinated && rec > s {
+			rec = s // min(CAP_LOC, recommendation)
 		}
-		s.DynCap = rec
+		cl.SetDynCap(sid, rec)
 		if c.tracer != nil {
 			c.tracer.Emit(obs.Event{Tick: k, Controller: "GM", Actuator: obs.ActServerCap,
-				Target: sid, Old: old, New: s.DynCap, Reason: reason})
+				Target: sid, Old: old, New: rec, Reason: reason})
 		}
 	}
 }
@@ -146,8 +144,7 @@ func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
 		e.DynCap = e.StaticCap
 	}
 	for _, sid := range cl.StandaloneServers() {
-		s := cl.Servers[sid]
-		s.DynCap = s.StaticCap
+		cl.SetDynCap(sid, cl.StaticCap(sid))
 	}
 }
 

@@ -36,11 +36,10 @@ func TestCoordinatedAllocation(t *testing.T) {
 		total += e.DynCap
 	}
 	for _, sid := range cl.StandaloneServers() {
-		s := cl.Servers[sid]
-		if s.DynCap > s.StaticCap+1e-9 {
-			t.Errorf("standalone %d dyn cap %.1f above static %.1f", sid, s.DynCap, s.StaticCap)
+		if cl.DynCap(sid) > cl.StaticCap(sid)+1e-9 {
+			t.Errorf("standalone %d dyn cap %.1f above static %.1f", sid, cl.DynCap(sid), cl.StaticCap(sid))
 		}
-		total += s.DynCap
+		total += cl.DynCap(sid)
 	}
 	if total > cl.StaticCapGrp+1e-9 {
 		t.Errorf("allocated %.1f W above group budget %.1f W", total, cl.StaticCapGrp)
@@ -67,12 +66,12 @@ func TestUncoordinatedSkipsMinRule(t *testing.T) {
 	cl.Advance(0)
 	// Make the standalone server dominate measured power so its raw share
 	// exceeds its static cap.
-	cl.Servers[2].Power = 500
+	cl.SetSensorReadings(2, cl.Util(2), cl.RealUtil(2), 500)
 	cl.Enclosures[0].Power = 10
 	c, _ := New(Uncoordinated, policy.Proportional{}, 50)
 	c.Tick(0, cl)
-	if cl.Servers[2].DynCap <= cl.Servers[2].StaticCap {
-		t.Errorf("raw share %.1f should exceed the 90 W static cap", cl.Servers[2].DynCap)
+	if cl.DynCap(2) <= cl.StaticCap(2) {
+		t.Errorf("raw share %.1f should exceed the 90 W static cap", cl.DynCap(2))
 	}
 }
 
@@ -112,8 +111,7 @@ func TestFIFOChildOrdering(t *testing.T) {
 		t.Errorf("enclosure got %.1f, want its full static cap %.1f",
 			cl.Enclosures[0].DynCap, cl.Enclosures[0].StaticCap)
 	}
-	s2, s3 := cl.Servers[2], cl.Servers[3]
-	if s2.DynCap < s3.DynCap {
-		t.Errorf("FIFO order violated: server 2 got %.1f < server 3's %.1f", s2.DynCap, s3.DynCap)
+	if cl.DynCap(2) < cl.DynCap(3) {
+		t.Errorf("FIFO order violated: server 2 got %.1f < server 3's %.1f", cl.DynCap(2), cl.DynCap(3))
 	}
 }

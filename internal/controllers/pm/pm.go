@@ -46,19 +46,22 @@ func New(slo float64, period int) (*Controller, error) {
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "PM" }
 
-// Tick samples every powered server's served fraction against the SLO.
+// Tick samples every powered server's served fraction against the SLO. The
+// PM is a pure observer, so it reads through the fleet's read-only view.
 func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	if k%c.Period != 0 {
 		return
 	}
-	for _, s := range cl.Servers {
-		if !s.On || s.DemandSum <= 0 {
+	v := cl.View()
+	for i, n := 0, v.NumServers(); i < n; i++ {
+		d := v.DemandSum(i)
+		if !v.On(i) || d <= 0 {
 			continue
 		}
 		c.epochs++
 		// Served fraction: consumption over demand (both in full-speed
 		// units, overhead included on both sides).
-		if s.RealUtil/s.DemandSum < c.SLO {
+		if v.RealUtil(i)/d < c.SLO {
 			c.violations++
 		}
 	}

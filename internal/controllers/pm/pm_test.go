@@ -25,7 +25,7 @@ func TestCountsSLOMisses(t *testing.T) {
 	// Saturating demand on a throttled server: served fraction well below
 	// any reasonable SLO.
 	cl := testutil.StandaloneCluster(t, 2, 100, 1.0)
-	cl.Servers[0].PState = 4 // capacity 0.533 vs demand 1.1: served ~48 %
+	cl.SetPState(0, 4) // capacity 0.533 vs demand 1.1: served ~48 %
 	c, _ := New(0.95, 5)
 	cl.Advance(0)
 	c.Tick(5, cl)

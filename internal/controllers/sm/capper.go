@@ -51,27 +51,29 @@ func (e *ElectricalCapper) SetTracer(t obs.Tracer) { e.tracer = t }
 
 // Tick clamps every powered server whose projected draw exceeds the budget.
 func (e *ElectricalCapper) Tick(k int, cl *cluster.Cluster) {
-	for _, s := range cl.Servers {
-		if !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if !cl.On(i) {
 			continue
 		}
 		// Project the draw the currently selected P-state could reach with
 		// the present demand and clamp deeper until it fits.
-		old := s.PState
-		for s.PState < s.Model.NumPStates()-1 {
-			cap := s.Model.Capacity(s.PState)
+		m := cl.ServerModel(i)
+		old := cl.PState(i)
+		for cl.PState(i) < m.NumPStates()-1 {
+			p := cl.PState(i)
+			cap := m.Capacity(p)
 			r := 1.0
-			if cap > 0 && s.DemandSum < cap {
-				r = s.DemandSum / cap
+			if d := cl.DemandSum(i); cap > 0 && d < cap {
+				r = d / cap
 			}
-			if s.Model.Power(s.PState, r) <= e.Budget {
+			if m.Power(p, r) <= e.Budget {
 				break
 			}
-			s.PState++
+			cl.SetPState(i, p+1)
 		}
-		if e.tracer != nil && s.PState != old {
+		if e.tracer != nil && cl.PState(i) != old {
 			e.tracer.Emit(obs.Event{Tick: k, Controller: "CAP", Actuator: obs.ActPState,
-				Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "electrical-cap"})
+				Target: i, Old: float64(old), New: float64(cl.PState(i)), Reason: "electrical-cap"})
 		}
 	}
 }

@@ -51,8 +51,10 @@ type Controller struct {
 	// Mode selects coordinated or uncoordinated actuation.
 	Mode Mode
 
-	ec    RRefSetter
-	loops []*control.CappingLoop
+	ec RRefSetter
+	// loops is a value slice: per-server loop states live contiguously,
+	// matching the cluster's columnar layout.
+	loops []control.CappingLoop
 	// violations counts server-epochs over budget since the last Drain —
 	// the telemetry the coordinated design "exposes to the VMC" (Fig. 4).
 	violations int
@@ -76,22 +78,22 @@ func New(cl *cluster.Cluster, ecIface RRefSetter, mode Mode, beta float64, perio
 		return nil, fmt.Errorf("sm: coordinated mode needs the EC interface")
 	}
 	c := &Controller{Period: period, Mode: mode, ec: ecIface}
-	for _, s := range cl.Servers {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
 		b := beta
 		if b <= 0 {
 			// Normalize the Appendix-A bound by the model's power/r_ref
 			// slope so the gain is expressed in r_ref-per-Watt.
-			b = control.DefaultBeta(s.Model.CapSlopeMax())
+			b = control.DefaultBeta(cl.ServerModel(i).CapSlopeMax())
 		}
-		loop, err := control.NewCappingLoop(b, s.StaticCap, 0.75, RRefCeil)
+		loop, err := control.NewCappingLoop(b, cl.StaticCap(i), 0.75, RRefCeil)
 		if err != nil {
-			return nil, fmt.Errorf("sm: server %d: %w", s.ID, err)
+			return nil, fmt.Errorf("sm: server %d: %w", i, err)
 		}
 		// Release the throttle more cautiously than it is applied (thermal
 		// protection asymmetry): bounds the violation duty cycle under
 		// sustained overload.
 		loop.DownScale = 0.25
-		c.loops = append(c.loops, loop)
+		c.loops = append(c.loops, *loop)
 	}
 	return c, nil
 }
@@ -107,25 +109,26 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 	if k%c.Period != 0 {
 		return
 	}
-	for i, s := range cl.Servers {
-		if !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if !cl.On(i) {
 			continue
 		}
 		c.epochs++
-		cap := c.effectiveCap(s)
+		cap := c.effectiveCap(cl, i)
+		pow := cl.Power(i)
 		// Telemetry counts violations of the server's OWN thermal budget
 		// (CAP_LOC), not of the dynamic allocation: a group-level shortfall
 		// is the GM's violation to report, and conflating the two would
 		// push the VMC's local buffer instead of its group buffer.
-		if s.Power > s.StaticCap {
+		if pow > cl.StaticCap(i) {
 			c.violations++
 		}
 		switch c.Mode {
 		case Coordinated:
-			loop := c.loops[i]
+			loop := &c.loops[i]
 			loop.SetReference(cap)
 			oldRef := loop.RRef
-			rRef := loop.Step(s.Power)
+			rRef := loop.Step(pow)
 			c.ec.SetRRef(i, rRef)
 			if c.tracer != nil {
 				c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActRRef,
@@ -138,35 +141,38 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 			// the P-state knob with the EC, which overwrites it on the
 			// EC's next tick — the "power struggle": the cap holds for one
 			// tick out of every T_sm, the violation persists the rest.
-			old := s.PState
-			if s.Power > cap {
-				for s.PState < s.Model.NumPStates()-1 && projected(s) > cap {
-					s.PState++
+			old := cl.PState(i)
+			if pow > cap {
+				m := cl.ServerModel(i)
+				for cl.PState(i) < m.NumPStates()-1 && projected(cl, i) > cap {
+					cl.SetPState(i, cl.PState(i)+1)
 				}
 				if c.tracer != nil {
 					c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActPState,
-						Target: i, Old: float64(old), New: float64(s.PState), Reason: "cap-clamp"})
+						Target: i, Old: float64(old), New: float64(cl.PState(i)), Reason: "cap-clamp"})
 				}
-			} else if s.Power < 0.85*cap && s.PState > 0 {
-				s.PState--
+			} else if pow < 0.85*cap && cl.PState(i) > 0 {
+				cl.SetPState(i, cl.PState(i)-1)
 				if c.tracer != nil {
 					c.tracer.Emit(obs.Event{Tick: k, Controller: "SM", Actuator: obs.ActPState,
-						Target: i, Old: float64(old), New: float64(s.PState), Reason: "cap-recover"})
+						Target: i, Old: float64(old), New: float64(cl.PState(i)), Reason: "cap-recover"})
 				}
 			}
 		}
 	}
 }
 
-// projected estimates the draw of a server at its current P-state with its
+// projected estimates the draw of server i at its current P-state with its
 // present demand.
-func projected(s *cluster.Server) float64 {
-	cap := s.Model.Capacity(s.PState)
+func projected(cl *cluster.Cluster, i int) float64 {
+	m := cl.ServerModel(i)
+	p := cl.PState(i)
+	cap := m.Capacity(p)
 	r := 1.0
-	if cap > 0 && s.DemandSum < cap {
-		r = s.DemandSum / cap
+	if d := cl.DemandSum(i); cap > 0 && d < cap {
+		r = d / cap
 	}
-	return s.Model.Power(s.PState, r)
+	return m.Power(p, r)
 }
 
 // effectiveCap returns the budget the SM enforces. Coordinated: the paper's
@@ -174,17 +180,18 @@ func projected(s *cluster.Server) float64 {
 // cluster stores in DynCap, itself already min'ed upstream). Uncoordinated:
 // whatever was last written to DynCap wins — no min — reproducing the
 // last-writer-wins conflict of independent products.
-func (c *Controller) effectiveCap(s *cluster.Server) float64 {
+func (c *Controller) effectiveCap(cl *cluster.Cluster, i int) float64 {
+	dyn, static := cl.DynCap(i), cl.StaticCap(i)
 	if c.Mode == Coordinated {
-		if s.DynCap < s.StaticCap {
-			return s.DynCap
+		if dyn < static {
+			return dyn
 		}
-		return s.StaticCap
+		return static
 	}
-	if s.DynCap > 0 {
-		return s.DynCap
+	if dyn > 0 {
+		return dyn
 	}
-	return s.StaticCap
+	return static
 }
 
 // FailSafe drives every powered server to the most conservative capping
@@ -195,14 +202,14 @@ func (c *Controller) effectiveCap(s *cluster.Server) float64 {
 // feedback. Uncoordinated: the P-state itself is pinned deepest, after any
 // other writer of the knob has acted this tick.
 func (c *Controller) FailSafe(k int, cl *cluster.Cluster) {
-	for i, s := range cl.Servers {
-		if !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if !cl.On(i) {
 			continue
 		}
 		if c.Mode == Coordinated {
 			c.ec.SetRRef(i, RRefCeil)
 		} else {
-			s.PState = s.Model.NumPStates() - 1
+			cl.SetPState(i, cl.ServerModel(i).NumPStates()-1)
 		}
 	}
 }
@@ -233,8 +240,8 @@ func (c *Controller) State() ([]byte, error) {
 		Violations: c.violations,
 		Epochs:     c.epochs,
 	}
-	for i, loop := range c.loops {
-		st.RRef[i], st.Cap[i] = loop.RRef, loop.Cap
+	for i := range c.loops {
+		st.RRef[i], st.Cap[i] = c.loops[i].RRef, c.loops[i].Cap
 	}
 	return state.Marshal(st)
 }
@@ -248,8 +255,8 @@ func (c *Controller) Restore(data []byte) error {
 	if len(st.RRef) != len(c.loops) || len(st.Cap) != len(c.loops) {
 		return fmt.Errorf("sm: state covers %d loops, controller has %d", len(st.RRef), len(c.loops))
 	}
-	for i, loop := range c.loops {
-		loop.RRef, loop.Cap = st.RRef[i], st.Cap[i]
+	for i := range c.loops {
+		c.loops[i].RRef, c.loops[i].Cap = st.RRef[i], st.Cap[i]
 	}
 	c.violations, c.epochs = st.Violations, st.Epochs
 	return nil

@@ -97,7 +97,7 @@ func TestThermalFailoverContrast(t *testing.T) {
 				smc.Tick(k, cl)
 			}
 			cl.Advance(k)
-			if cl.Servers[0].Power > cl.Servers[0].StaticCap {
+			if cl.Power(0) > cl.StaticCap(0) {
 				over++
 			}
 		}
@@ -121,9 +121,8 @@ func TestThermalFailoverContrast(t *testing.T) {
 func TestCoordinatedCapsModerateLoad(t *testing.T) {
 	cl := testCluster(t, 1, 0.8) // 0.88 with overhead: P0 power = 95.2 > 90
 	runCoordinated(t, cl, 3000)
-	s := cl.Servers[0]
-	if s.Power > s.StaticCap*1.02 {
-		t.Errorf("settled power %.1f W above cap %.1f W", s.Power, s.StaticCap)
+	if cl.Power(0) > cl.StaticCap(0)*1.02 {
+		t.Errorf("settled power %.1f W above cap %.1f W", cl.Power(0), cl.StaticCap(0))
 	}
 }
 
@@ -142,11 +141,10 @@ func TestCoordinatedIdleUnderCap(t *testing.T) {
 // enforces that instead of the static budget.
 func TestCoordinatedHonorsDynCap(t *testing.T) {
 	cl := testCluster(t, 1, 0.7) // P0 power ~90.8, under a 70 W dynamic cap
-	cl.Servers[0].DynCap = 70
+	cl.SetDynCap(0, 70)
 	runCoordinated(t, cl, 3000)
-	s := cl.Servers[0]
-	if s.Power > 70*1.05 {
-		t.Errorf("settled power %.1f W above dynamic cap 70 W", s.Power)
+	if cl.Power(0) > 70*1.05 {
+		t.Errorf("settled power %.1f W above dynamic cap 70 W", cl.Power(0))
 	}
 }
 
@@ -155,7 +153,7 @@ func TestCoordinatedHonorsDynCap(t *testing.T) {
 // static budget allows.
 func TestUncoordinatedLastWriterWins(t *testing.T) {
 	cl := testCluster(t, 1, 1.1)
-	cl.Servers[0].DynCap = 150 // a confused group capper wrote a loose cap
+	cl.SetDynCap(0, 150) // a confused group capper wrote a loose cap
 	smc, err := New(cl, nil, Uncoordinated, 0, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -164,11 +162,10 @@ func TestUncoordinatedLastWriterWins(t *testing.T) {
 		smc.Tick(k, cl)
 		cl.Advance(k)
 	}
-	s := cl.Servers[0]
-	if s.PState != 0 {
-		t.Errorf("P-state = %d; a 150 W cap should never throttle a 100 W server", s.PState)
+	if cl.PState(0) != 0 {
+		t.Errorf("P-state = %d; a 150 W cap should never throttle a 100 W server", cl.PState(0))
 	}
-	if s.Power <= s.StaticCap {
+	if cl.Power(0) <= cl.StaticCap(0) {
 		t.Error("expected a static-budget violation under the loose dynamic cap")
 	}
 }
@@ -201,9 +198,8 @@ func TestUncoordinatedAloneCaps(t *testing.T) {
 		smc.Tick(k, cl)
 		cl.Advance(k)
 	}
-	s := cl.Servers[0]
-	if s.Power > s.StaticCap {
-		t.Errorf("hardware capper left power at %.1f W over the %.1f W cap", s.Power, s.StaticCap)
+	if cl.Power(0) > cl.StaticCap(0) {
+		t.Errorf("hardware capper left power at %.1f W over the %.1f W cap", cl.Power(0), cl.StaticCap(0))
 	}
 }
 
@@ -220,8 +216,8 @@ func TestElectricalCapper(t *testing.T) {
 		capper.Tick(k, cl)
 		cl.Advance(k)
 	}
-	if cl.Servers[0].Power > 75 {
-		t.Errorf("electrical capper left %.1f W over the 75 W fuse", cl.Servers[0].Power)
+	if cl.Power(0) > 75 {
+		t.Errorf("electrical capper left %.1f W over the 75 W fuse", cl.Power(0))
 	}
 	// An off server is ignored.
 	if err := cl.Move(0, 0, 0); err != nil {

@@ -181,8 +181,8 @@ func (c *Controller) Unplaced() int { return c.unplaced }
 // for examples, debugging, and tests).
 func (c *Controller) Estimates(cl *cluster.Cluster) []float64 {
 	out := make([]float64, len(cl.VMs))
-	for i, vm := range cl.VMs {
-		out[i] = c.estimate(vm)
+	for i := range cl.VMs {
+		out[i] = c.estimate(cl.VMs[i].ID)
 	}
 	return out
 }
@@ -251,15 +251,16 @@ func (c *Controller) sample(cl *cluster.Cluster) {
 	if cl.LastTick < 0 {
 		return // no sensor data before the first Advance
 	}
-	for _, vm := range cl.VMs {
-		s := cl.Servers[vm.Server]
+	for i := range cl.VMs {
+		vm := &cl.VMs[i]
+		host := vm.Server
 		var obs float64
-		if s.On && s.DemandSum > 0 {
-			obs = observedShare(cl, vm, s)
+		if cl.On(host) && cl.DemandSum(host) > 0 {
+			obs = observedShare(cl, vm, host)
 			if c.cfg.UseRealUtil {
 				// Translate apparent to real utilization using the host's
 				// current power state (the paper's "simple models").
-				obs *= s.Capacity()
+				obs *= cl.Capacity(host)
 			}
 		}
 		if !c.seeded[vm.ID] {
@@ -278,20 +279,21 @@ func (c *Controller) sample(cl *cluster.Cluster) {
 // host's *current* capacity and therefore both saturate under overload and
 // overstate demand under throttling; the real-utilization correction
 // (applied in estimate) multiplies by the host capacity — the paper's fix.
-func observedShare(cl *cluster.Cluster, vm *cluster.VM, s *cluster.Server) float64 {
+func observedShare(cl *cluster.Cluster, vm *cluster.VM, host int) float64 {
 	demand := vm.Trace.At(cl.LastTick) * (1 + cl.Cfg.AlphaV)
-	if s.DemandSum <= 0 {
+	ds := cl.DemandSum(host)
+	if ds <= 0 {
 		return 0
 	}
-	return s.Util * demand / s.DemandSum
+	return cl.Util(host) * demand / ds
 }
 
 // estimate returns the packing demand estimate for a VM: smoothed mean plus
 // a variability margin. Units are whatever the sampler recorded — real
 // (full-speed) when UseRealUtil, raw apparent otherwise, which is exactly
 // the naive consolidator's mistake.
-func (c *Controller) estimate(vm *cluster.VM) float64 {
-	est := c.mean[vm.ID] + c.cfg.Headroom*c.dev[vm.ID]
+func (c *Controller) estimate(vmID int) float64 {
+	est := c.mean[vmID] + c.cfg.Headroom*c.dev[vmID]
 	if est < 0.01 {
 		est = 0.01
 	}
@@ -339,10 +341,10 @@ func (c *Controller) adjust(b float64, src ViolationSource) float64 {
 func (c *Controller) repack(k int, cl *cluster.Cluster) {
 	c.repacks++
 	items := make([]binpack.Item, len(cl.VMs))
-	for i, vm := range cl.VMs {
-		items[i] = binpack.Item{ID: vm.ID, Demand: c.estimate(vm), Current: vm.Server}
+	for i := range cl.VMs {
+		items[i] = binpack.Item{ID: cl.VMs[i].ID, Demand: c.estimate(cl.VMs[i].ID), Current: cl.VMs[i].Server}
 	}
-	bins := make([]binpack.Bin, len(cl.Servers))
+	bins := make([]binpack.Bin, cl.NumServers())
 	encBudgets := map[int]float64{}
 	grpBudget := 0.0
 	if c.cfg.UseBudgets {
@@ -356,29 +358,30 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 		rRef = 0.75
 	}
 	packFraction := c.cfg.PackFraction * (1 - c.bPerf)
-	for i, s := range cl.Servers {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		m := cl.ServerModel(i)
 		budget := math.Inf(1)
 		if c.cfg.UseBudgets {
-			budget = (1 - c.bLoc) * s.StaticCap
+			budget = (1 - c.bLoc) * cl.StaticCap(i)
 		}
-		capacity := packFraction * s.Model.Capacity(0)
-		idle := s.Model.PStates[0].D
-		slope := s.Model.PStates[0].C
+		capacity := packFraction * m.Capacity(0)
+		idle := m.PStates[0].D
+		slope := m.PStates[0].C
 		if c.cfg.AssumeEC {
 			// EC-managed envelope: an empty server idles in the deepest
 			// P-state; a server loaded to L runs at capacity ≈ L/r_ref, so
 			// at L = r_ref it is back at P0 with utilization r_ref. The
 			// secant between those endpoints is the packer's linear
 			// objective model.
-			deep := s.Model.PStates[s.Model.NumPStates()-1]
+			deep := m.PStates[m.NumPStates()-1]
 			idle = deep.D
-			slope = (s.Model.Power(0, rRef) - deep.D) / rRef
+			slope = (m.Power(0, rRef) - deep.D) / rRef
 			if c.cfg.UseBudgets {
 				// Local-budget feasibility uses the exact (piecewise)
 				// EC steady-state curve rather than the linear secant,
 				// which is pessimistic at mid loads: fold the budget
 				// into the bin capacity and lift the linear cap.
-				capacity = s.Model.MaxLoadUnderCap(rRef, budget, capacity)
+				capacity = m.MaxLoadUnderCap(rRef, budget, capacity)
 				budget = math.Inf(1)
 				if capacity <= 0 {
 					capacity = 1e-6 // nothing fits, but keep the bin valid
@@ -386,14 +389,14 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 			}
 		}
 		bins[i] = binpack.Bin{
-			ID:           s.ID,
+			ID:           i,
 			Capacity:     capacity,
-			FullCapacity: s.Model.Capacity(0),
+			FullCapacity: m.Capacity(0),
 			IdlePower:    idle,
 			PowerSlope:   slope,
 			PowerBudget:  budget,
-			Enclosure:    s.Enclosure,
-			On:           s.On,
+			Enclosure:    cl.EnclosureOf(i),
+			On:           cl.On(i),
 		}
 	}
 	res, err := binpack.Solve(binpack.Problem{
@@ -411,8 +414,9 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 	}
 	c.unplaced += res.Unplaced
 
-	for i, vm := range cl.VMs {
-		target := cl.Servers[res.Assignment[i]].ID
+	for i := range cl.VMs {
+		vm := &cl.VMs[i]
+		target := res.Assignment[i]
 		if target != vm.Server {
 			from := vm.Server
 			if err := cl.Move(vm.ID, target, k); err == nil {
@@ -425,13 +429,13 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 		}
 	}
 	if c.cfg.AllowOff {
-		for _, s := range cl.Servers {
-			if s.On && len(s.VMs) == 0 {
+		for i, n := 0, cl.NumServers(); i < n; i++ {
+			if cl.On(i) && len(cl.ServerVMs(i)) == 0 {
 				// PowerOff only fails for non-empty servers, checked above.
-				_ = cl.PowerOff(s.ID)
+				_ = cl.PowerOff(i)
 				if c.tracer != nil {
 					c.tracer.Emit(obs.Event{Tick: k, Controller: "VMC", Actuator: obs.ActPower,
-						Target: s.ID, Old: 1, New: 0, Reason: "consolidation-off"})
+						Target: i, Old: 1, New: 0, Reason: "consolidation-off"})
 				}
 			}
 		}

@@ -80,8 +80,8 @@ func TestAllowOffFalseKeepsMachinesOn(t *testing.T) {
 func TestRealUtilSeesThroughThrottling(t *testing.T) {
 	count := func(useReal bool) int {
 		cl := testutil.StandaloneCluster(t, 10, 500, 0.3)
-		for _, s := range cl.Servers {
-			s.PState = 4 // throttled: capacity 0.533, apparent util ~0.62
+		for i := 0; i < cl.NumServers(); i++ {
+			cl.SetPState(i, 4) // throttled: capacity 0.533, apparent util ~0.62
 		}
 		conf := cfg()
 		conf.UseRealUtil = useReal
@@ -249,7 +249,7 @@ func TestSaturatedSensorUnderReads(t *testing.T) {
 	if err := cl.Move(2, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	cl.Servers[0].PState = 4
+	cl.SetPState(0, 4)
 	conf := cfg()
 	conf.UseBudgets = false
 	conf.UseFeedback = false
@@ -258,7 +258,7 @@ func TestSaturatedSensorUnderReads(t *testing.T) {
 	for k := 0; k < 120; k++ {
 		c.Tick(k, cl)
 		cl.Advance(k)
-		cl.Servers[0].PState = 4 // hold the throttle (the SM's role)
+		cl.SetPState(0, 4) // hold the throttle (the SM's role)
 	}
 	sum := 0.0
 	for _, est := range c.Estimates(cl) {
@@ -272,9 +272,9 @@ func TestSaturatedSensorUnderReads(t *testing.T) {
 	}
 	// Consequence: the packer sees no reason to spread — the overcommitted
 	// host keeps all three VMs.
-	if len(cl.Servers[0].VMs) != 3 {
+	if len(cl.ServerVMs(0)) != 3 {
 		t.Errorf("naive packer spread the VMs (%d left) — expected the vicious placement to stick",
-			len(cl.Servers[0].VMs))
+			len(cl.ServerVMs(0)))
 	}
 
 	// Control: the same VMs spread on unthrottled hosts estimate truthfully.

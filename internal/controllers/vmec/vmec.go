@@ -48,14 +48,14 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 		return nil, fmt.Errorf("vmec: period %d", period)
 	}
 	c := &Controller{Period: period, Lambda: lambda, rRef0: rRef}
-	for range cl.Servers {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
 		c.wasOn = append(c.wasOn, true)
 		c.targets = append(c.targets, rRef)
 	}
-	for _, vm := range cl.VMs {
+	for i := range cl.VMs {
 		loop, err := control.NewUtilizationLoop(lambda, rRef, minAllocation, 1.0)
 		if err != nil {
-			return nil, fmt.Errorf("vmec: vm %d: %w", vm.ID, err)
+			return nil, fmt.Errorf("vmec: vm %d: %w", cl.VMs[i].ID, err)
 		}
 		c.loops = append(c.loops, loop)
 	}
@@ -151,36 +151,36 @@ func (c *Controller) TickShard(k int, cl *cluster.Cluster, servers []int) {
 
 // tickServers steps the loops for the given server IDs (nil = all).
 func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
-	n := len(cl.Servers)
+	n := cl.NumServers()
 	if servers != nil {
 		n = len(servers)
 	}
 	for j := 0; j < n; j++ {
-		s := cl.Servers[j]
+		sid := j
 		if servers != nil {
-			s = cl.Servers[servers[j]]
+			sid = servers[j]
 		}
-		if !s.On {
-			c.wasOn[s.ID] = false
+		if !cl.On(sid) {
+			c.wasOn[sid] = false
 			continue
 		}
-		if !c.wasOn[s.ID] {
+		hosted := cl.ServerVMs(sid)
+		if !c.wasOn[sid] {
 			// Fresh boot: reset resident loops and the broadcast target.
-			c.targets[s.ID] = c.rRef0
-			for _, vmID := range s.VMs {
-				c.loops[vmID].F = 1.0 / float64(len(s.VMs))
+			c.targets[sid] = c.rRef0
+			for _, vmID := range hosted {
+				c.loops[vmID].F = 1.0 / float64(len(hosted))
 				c.loops[vmID].SetReference(c.rRef0)
 			}
-			c.wasOn[s.ID] = true
+			c.wasOn[sid] = true
 		}
 		sum := 0.0
-		for _, vmID := range s.VMs {
-			vm := cl.VMs[vmID]
+		for _, vmID := range hosted {
 			loop := c.loops[vmID]
-			loop.SetReference(c.targets[s.ID])
+			loop.SetReference(c.targets[sid])
 			demand := 0.0
 			if cl.LastTick >= 0 {
-				demand = vm.Trace.At(cl.LastTick) * (1 + cl.Cfg.AlphaV)
+				demand = cl.VMs[vmID].Trace.At(cl.LastTick) * (1 + cl.Cfg.AlphaV)
 			}
 			// The VM's consumption of its container and the resulting
 			// utilization (the per-VM Appendix-A plant).
@@ -196,12 +196,14 @@ func (c *Controller) tickServers(k int, cl *cluster.Cluster, servers []int) {
 			sum += loop.F
 		}
 		// Arbitration: the platform covers the resident allocations.
-		if len(s.VMs) > 0 {
-			old := s.PState
-			s.PState = s.Model.Quantize(s.Model.ClampFreq(sum * s.Model.MaxFreq()))
+		if len(hosted) > 0 {
+			m := cl.ServerModel(sid)
+			old := cl.PState(sid)
+			next := m.Quantize(m.ClampFreq(sum * m.MaxFreq()))
+			cl.SetPState(sid, next)
 			if c.tracer != nil {
 				c.tracer.Emit(obs.Event{Tick: k, Controller: "VMEC", Actuator: obs.ActPState,
-					Target: s.ID, Old: float64(old), New: float64(s.PState), Reason: "vm-arbitration"})
+					Target: sid, Old: float64(old), New: float64(next), Reason: "vm-arbitration"})
 			}
 		}
 	}

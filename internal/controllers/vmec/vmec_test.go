@@ -52,10 +52,10 @@ func TestAllocationsTrackPerVMDemand(t *testing.T) {
 		t.Errorf("big VM allocation %.3f, want ~%.3f", got, wantBig)
 	}
 	// Arbitration: the platform frequency covers the summed allocations.
-	wantFreq := (wantSmall + wantBig) * cl.Servers[0].Model.MaxFreq()
-	wantState := cl.Servers[0].Model.Quantize(wantFreq)
-	if cl.Servers[0].PState != wantState {
-		t.Errorf("P-state %d, want %d (arbitrated sum)", cl.Servers[0].PState, wantState)
+	wantFreq := (wantSmall + wantBig) * cl.ServerModel(0).MaxFreq()
+	wantState := cl.ServerModel(0).Quantize(wantFreq)
+	if cl.PState(0) != wantState {
+		t.Errorf("P-state %d, want %d (arbitrated sum)", cl.PState(0), wantState)
 	}
 }
 
@@ -65,15 +65,15 @@ func TestPlatformFollowsAggregateLoad(t *testing.T) {
 	light := testutil.StandaloneCluster(t, 1, 500, 0.2)
 	c, _ := New(light, 0.8, 0.75, 1)
 	run(light, c, 0, 300)
-	if light.Servers[0].PState == 0 {
+	if light.PState(0) == 0 {
 		t.Error("light load left the platform at P0")
 	}
 	heavy := testutil.StandaloneCluster(t, 1, 500, 0.9)
 	c2, _ := New(heavy, 0.8, 0.75, 1)
-	heavy.Servers[0].PState = 4
+	heavy.SetPState(0, 4)
 	run(heavy, c2, 0, 300)
-	if heavy.Servers[0].PState != 0 {
-		t.Errorf("heavy load settled at P%d, want P0", heavy.Servers[0].PState)
+	if heavy.PState(0) != 0 {
+		t.Errorf("heavy load settled at P%d, want P0", heavy.PState(0))
 	}
 }
 
@@ -84,7 +84,7 @@ func TestSetRRefBroadcastThrottles(t *testing.T) {
 	cl := testutil.StandaloneCluster(t, 1, 1000, 0.6)
 	c, _ := New(cl, 0.8, 0.75, 1)
 	run(cl, c, 0, 300)
-	before := cl.Servers[0].PState
+	before := cl.PState(0)
 	allocBefore := c.Allocation(0)
 	c.SetRRef(0, 1.3)
 	if got := c.RRef(0); got != 1.3 {
@@ -94,8 +94,8 @@ func TestSetRRefBroadcastThrottles(t *testing.T) {
 	if c.Allocation(0) >= allocBefore {
 		t.Errorf("allocation did not shrink (%.3f -> %.3f)", allocBefore, c.Allocation(0))
 	}
-	if cl.Servers[0].PState <= before {
-		t.Errorf("P-state did not deepen (%d -> %d)", before, cl.Servers[0].PState)
+	if cl.PState(0) <= before {
+		t.Errorf("P-state did not deepen (%d -> %d)", before, cl.PState(0))
 	}
 }
 
@@ -105,14 +105,14 @@ func TestMigrationCarriesAllocation(t *testing.T) {
 	cl := testutil.StandaloneCluster(t, 2, 1000, 0.3)
 	c, _ := New(cl, 0.8, 0.75, 1)
 	run(cl, c, 0, 300)
-	p1Before := cl.Servers[1].PState
+	p1Before := cl.PState(1)
 	if err := cl.Move(0, 1, 300); err != nil {
 		t.Fatal(err)
 	}
 	run(cl, c, 300, 200)
-	if cl.Servers[1].PState >= p1Before {
+	if cl.PState(1) >= p1Before {
 		t.Errorf("destination did not speed up for the newcomer (%d -> %d)",
-			p1Before, cl.Servers[1].PState)
+			p1Before, cl.PState(1))
 	}
 }
 

@@ -127,25 +127,25 @@ func (m *Manager) Name() string { return "COOL" }
 // on zone epochs, re-optimizes the setpoint and the exported budget.
 func (m *Manager) Tick(k int, cl *cluster.Cluster) {
 	if m.states == nil {
-		m.states = make([]*thermal.State, len(cl.Servers))
+		m.states = make([]*thermal.State, cl.NumServers())
 		tm := m.Thermal
 		tm.AmbientC = m.CRAC.SupplyC
 		for i := range m.states {
 			m.states[i] = thermal.NewState(tm)
 		}
 		m.operatorCapGrp = cl.StaticCapGrp
-		m.operatorCapLoc = make([]float64, len(cl.Servers))
-		for i, s := range cl.Servers {
-			m.operatorCapLoc[i] = s.StaticCap
+		m.operatorCapLoc = make([]float64, cl.NumServers())
+		for i := range m.operatorCapLoc {
+			m.operatorCapLoc[i] = cl.StaticCap(i)
 		}
 	}
 	// Thermal integration every tick at the current setpoint.
 	tm := m.Thermal
 	tm.AmbientC = m.CRAC.SupplyC
 	hottest := tm.AmbientC
-	for i, s := range cl.Servers {
-		p := s.Power
-		if !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		p := cl.Power(i)
+		if !cl.On(i) {
 			p = 0
 		}
 		if m.states[i].Step(tm, p, k) {
@@ -170,9 +170,9 @@ func (m *Manager) Tick(k int, cl *cluster.Cluster) {
 	// The hottest plausible draw is the largest current per-server power
 	// (plus nothing: the budget channel below handles growth).
 	maxServerW := 0.0
-	for _, s := range cl.Servers {
-		if s.On && s.Power > maxServerW {
-			maxServerW = s.Power
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if p := cl.Power(i); cl.On(i) && p > maxServerW {
+			maxServerW = p
 		}
 	}
 	target := m.Thermal.CritC - m.MarginC - maxServerW*m.Thermal.RthCPerW
@@ -196,14 +196,14 @@ func (m *Manager) Tick(k int, cl *cluster.Cluster) {
 		if perServer < 0 {
 			perServer = 0
 		}
-		for i, s := range cl.Servers {
+		for i := range m.operatorCapLoc {
 			if perServer < m.operatorCapLoc[i] {
-				s.StaticCap = perServer
+				cl.SetStaticCap(i, perServer)
 			} else {
-				s.StaticCap = m.operatorCapLoc[i]
+				cl.SetStaticCap(i, m.operatorCapLoc[i])
 			}
 		}
-		zoneCap := perServer * float64(len(cl.Servers))
+		zoneCap := perServer * float64(cl.NumServers())
 		if zoneCap < m.operatorCapGrp {
 			cl.StaticCapGrp = zoneCap
 		} else {

@@ -34,9 +34,9 @@ func TestMinRuleChainEnforcesGroupBudget(t *testing.T) {
 	}
 	// The chain acted through budgets, not direct state writes: every
 	// server's dynamic cap is at or below its static cap and above zero.
-	for _, s := range cl.Servers {
-		if s.DynCap > s.StaticCap+1e-9 || s.DynCap <= 0 {
-			t.Errorf("server %d dyn cap %.1f outside (0, %.1f]", s.ID, s.DynCap, s.StaticCap)
+	for i := 0; i < cl.NumServers(); i++ {
+		if cl.DynCap(i) > cl.StaticCap(i)+1e-9 || cl.DynCap(i) <= 0 {
+			t.Errorf("server %d dyn cap %.1f outside (0, %.1f]", i, cl.DynCap(i), cl.StaticCap(i))
 		}
 	}
 }
@@ -64,8 +64,8 @@ func TestUncoordinatedBudgetWritersConflict(t *testing.T) {
 		if _, err := eng.Run(400); err != nil {
 			t.Fatal(err)
 		}
-		for _, s := range cl.Servers {
-			allocated += s.DynCap
+		for i := 0; i < cl.NumServers(); i++ {
+			allocated += cl.DynCap(i)
 		}
 		return allocated, cl.Enclosures[0].DynCap
 	}

@@ -177,9 +177,9 @@ func TestElectricalCapperEnforcesFuse(t *testing.T) {
 	if _, err := eng.Run(50); err != nil {
 		t.Fatal(err)
 	}
-	for _, s := range cl.Servers {
-		if s.Power > 70+1e-9 {
-			t.Errorf("server %d at %.1f W over the 70 W fuse", s.ID, s.Power)
+	for i := 0; i < cl.NumServers(); i++ {
+		if cl.Power(i) > 70+1e-9 {
+			t.Errorf("server %d at %.1f W over the 70 W fuse", i, cl.Power(i))
 		}
 	}
 }

@@ -54,10 +54,10 @@ func TestSystemInvariantsUnderRandomConfigs(t *testing.T) {
 				t.Fatalf("trial %d tick %d: delivered %v exceeds demand %v",
 					trial, k, c.DeliveredWork, c.DemandWork)
 			}
-			for _, s := range c.Servers {
-				if s.PState < 0 || s.PState >= s.Model.NumPStates() {
+			for i := 0; i < c.NumServers(); i++ {
+				if c.PState(i) < 0 || c.PState(i) >= c.ServerModel(i).NumPStates() {
 					t.Fatalf("trial %d tick %d: server %d P-state %d out of ladder",
-						trial, k, s.ID, s.PState)
+						trial, k, i, c.PState(i))
 				}
 			}
 		}

@@ -28,16 +28,16 @@ func TestScenarioTopologies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cl180.Servers) != 180 || len(cl180.Enclosures) != 6 || len(cl180.StandaloneServers()) != 60 {
+	if cl180.NumServers() != 180 || len(cl180.Enclosures) != 6 || len(cl180.StandaloneServers()) != 60 {
 		t.Errorf("180 topology: %d servers, %d enclosures, %d standalone",
-			len(cl180.Servers), len(cl180.Enclosures), len(cl180.StandaloneServers()))
+			cl180.NumServers(), len(cl180.Enclosures), len(cl180.StandaloneServers()))
 	}
 	cl60, err := Scenario{Model: "ServerB", Mix: tracegen.Mix60L, Budgets: Base201510(), Ticks: 50}.BuildCluster()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cl60.Servers) != 60 || len(cl60.Enclosures) != 2 || len(cl60.StandaloneServers()) != 20 {
-		t.Errorf("60 topology: %d servers, %d enclosures", len(cl60.Servers), len(cl60.Enclosures))
+	if cl60.NumServers() != 60 || len(cl60.Enclosures) != 2 || len(cl60.StandaloneServers()) != 20 {
+		t.Errorf("60 topology: %d servers, %d enclosures", cl60.NumServers(), len(cl60.Enclosures))
 	}
 }
 
@@ -86,8 +86,8 @@ func TestScenarioWithProvidedTraces(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cl.Servers) != 60 {
-		t.Errorf("%d servers for 60 provided traces", len(cl.Servers))
+	if cl.NumServers() != 60 {
+		t.Errorf("%d servers for 60 provided traces", cl.NumServers())
 	}
 	// The cluster must hold deep copies: mutating it leaves the input alone.
 	cl.VMs[0].Trace.Scale(2)
@@ -98,8 +98,8 @@ func TestScenarioWithProvidedTraces(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 18 {
-		t.Fatalf("registry has %d experiments, want the DESIGN.md §4 set plus models, multiseed, extensions, cooling, chaos, replay, scale", len(names))
+	if len(names) != 19 {
+		t.Fatalf("registry has %d experiments, want the DESIGN.md §4 set plus models, multiseed, extensions, cooling, chaos, replay, scale, scale100k", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

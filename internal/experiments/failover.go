@@ -88,11 +88,10 @@ func runFailover(ctx context.Context, name string, spec core.Spec, opts Options)
 		if _, err := eng.RunContext(ctx, 1); err != nil {
 			return FailoverRow{}, err
 		}
-		s := cl.Servers[0]
-		if s.Power > s.StaticCap {
+		if cl.Power(0) > cl.StaticCap(0) {
 			over++
 		}
-		ts.Step(tm, s.Power, k)
+		ts.Step(tm, cl.Power(0), k)
 	}
 	row.ViolationDuty = float64(over) / float64(opts.Ticks)
 	row.PeakTempC = ts.PeakC

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"nopower/internal/checkpoint"
+	"nopower/internal/core"
+	"nopower/internal/metrics"
+	"nopower/internal/sim"
+	"nopower/internal/tracegen"
+)
+
+// The golden AoS checkpoint: a snapshot written at tick 300 of a 600-tick
+// chaos run by the pre-columnar (array-of-structs) engine, committed under
+// testdata/ together with the Float64bits of that run's uninterrupted final
+// summary. The columnar (struct-of-arrays) cluster must restore it
+// bit-identically and replay the remaining ticks to the exact committed
+// result — the cross-layout compatibility contract for the on-disk format.
+//
+// The artifacts are frozen provenance: they were generated once, from the
+// AoS engine, via TestRegenerateGoldenAoS (GOLDEN_REGEN=1). Regenerating
+// them from the current engine would make the test tautological; only do so
+// if the wire format itself changes version.
+//
+//go:embed testdata/golden_aos.ckpt
+var goldenCkpt []byte
+
+//go:embed testdata/golden_aos_result.json
+var goldenResultJSON []byte
+
+const (
+	// goldenTicks and goldenKillAt are frozen with the artifacts.
+	goldenTicks  = 600
+	goldenKillAt = 300
+	goldenSeed   = 7
+)
+
+// goldenScenario is the frozen run setup behind the committed artifacts.
+// Shards is pinned to 1 so the golden run never depends on GOMAXPROCS
+// (sharded runs are bit-identical anyway, per E17/E18, but the golden files
+// should not lean on that).
+func goldenScenario() Scenario {
+	return Scenario{Model: "BladeA", Mix: tracegen.Mix60L, Budgets: Base201510(),
+		Ticks: goldenTicks, Seed: goldenSeed, Shards: 1}
+}
+
+// goldenCase is the frozen fault schedule: a demand rescale (so a Mutated
+// trace rides in the checkpoint), a server failure before the snapshot and
+// its restoration after it — the mutators whose state must cross the
+// AoS→SoA boundary intact.
+func goldenCase() ChaosCase {
+	return ChaosCase{
+		Name: "aos-golden",
+		Desc: "frozen schedule behind the committed AoS-era checkpoint",
+		Events: func(ticks int, seed int64) []sim.Event {
+			return []sim.Event{
+				sim.ScaleDemand(ticks/5, 1.15),
+				sim.FailServer(ticks/3, 3),
+				sim.RestoreServer(8*ticks/15, 3),
+			}
+		},
+	}
+}
+
+// goldenResultBits is the committed final summary, field by field as raw
+// Float64bits — JSON round-trips of decimal floats are not bit-faithful, so
+// the file stores the bits themselves.
+type goldenResultBits struct {
+	Ticks        int    `json:"ticks"`
+	AvgPower     uint64 `json:"avgPowerBits"`
+	PeakPower    uint64 `json:"peakPowerBits"`
+	PowerSavings uint64 `json:"powerSavingsBits"`
+	PerfLoss     uint64 `json:"perfLossBits"`
+	ViolSM       uint64 `json:"violSMBits"`
+	ViolEM       uint64 `json:"violEMBits"`
+	ViolGM       uint64 `json:"violGMBits"`
+	ViolSMWatts  uint64 `json:"violSMWattsBits"`
+	AvgServersOn uint64 `json:"avgServersOnBits"`
+}
+
+func resultToBits(r metrics.Result) goldenResultBits {
+	return goldenResultBits{
+		Ticks:        r.Ticks,
+		AvgPower:     math.Float64bits(r.AvgPower),
+		PeakPower:    math.Float64bits(r.PeakPower),
+		PowerSavings: math.Float64bits(r.PowerSavings),
+		PerfLoss:     math.Float64bits(r.PerfLoss),
+		ViolSM:       math.Float64bits(r.ViolSM),
+		ViolEM:       math.Float64bits(r.ViolEM),
+		ViolGM:       math.Float64bits(r.ViolGM),
+		ViolSMWatts:  math.Float64bits(r.ViolSMWatts),
+		AvgServersOn: math.Float64bits(r.AvgServersOn),
+	}
+}
+
+// GoldenReplay runs the cross-layout compatibility check end to end:
+//
+//  1. decode the committed AoS checkpoint and resume it on an engine built
+//     from today's cluster implementation, running ticks 300..600;
+//  2. run the same scenario uninterrupted from tick 0;
+//  3. demand that the resumed per-tick series bit-equals the fresh one and
+//     that BOTH final summaries bit-equal the committed AoS result.
+//
+// It is wired into E16 (Replay) as an extra row, so the experiment fails
+// loudly if the current engine ever drifts from the AoS seed behavior.
+func GoldenReplay(ctx context.Context) (ReplayRow, error) {
+	sc := goldenScenario().normalized()
+	cse := goldenCase()
+	spec := core.Coordinated()
+
+	file, err := checkpoint.Decode(goldenCkpt)
+	if err != nil {
+		return ReplayRow{}, fmt.Errorf("experiments: golden checkpoint: %w", err)
+	}
+	var want goldenResultBits
+	if err := json.Unmarshal(goldenResultJSON, &want); err != nil {
+		return ReplayRow{}, fmt.Errorf("experiments: golden result file: %w", err)
+	}
+
+	var full metrics.Series
+	fullRow, err := RunChaos(ctx, sc, spec, cse, Observers{Series: &full, FaultPolicy: sim.FaultDegrade})
+	if err != nil {
+		return ReplayRow{}, fmt.Errorf("experiments: golden reference run: %w", err)
+	}
+
+	var resumed metrics.Series
+	resumedRow, err := RunChaos(ctx, sc, spec, cse, Observers{
+		Series: &resumed, FaultPolicy: sim.FaultDegrade, Resume: file,
+	})
+	if err != nil {
+		return ReplayRow{}, fmt.Errorf("experiments: golden resume run: %w", err)
+	}
+
+	identical := full.BitEqual(&resumed) &&
+		resultToBits(fullRow.Result) == want &&
+		resultToBits(resumedRow.Result) == want
+
+	return ReplayRow{
+		Scenario:      cse.Name,
+		Stack:         "Coordinated",
+		KillTick:      file.Meta.Tick,
+		Identical:     identical,
+		SnapshotBytes: len(goldenCkpt),
+		Resumed:       resumedRow.Result,
+	}, nil
+}

@@ -111,13 +111,14 @@ var registry = map[string]struct {
 	"chaos":      {Chaos, "fault-injection soak: flaps, sensor faults, crashes under degraded mode (§3.2)"},
 	"replay":     {Replay, "chaos soak killed mid-run and resumed from checkpoint; verifies bitwise replay"},
 	"scale":      {Scale, "10k-server fleet: sharded tick engine vs serial, bit-identical results (E17)"},
+	"scale100k":  {Scale100k, "100k-server fleet: columnar cluster store, serial vs sharded bit-identity (E18)"},
 }
 
 // Names lists the registered experiment IDs in DESIGN.md order.
 func Names() []string {
 	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
 		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
-		"extensions", "cooling", "chaos", "replay", "scale"}
+		"extensions", "cooling", "chaos", "replay", "scale", "scale100k"}
 	// Guard against drift between the slice and the map.
 	if len(order) != len(registry) {
 		keys := make([]string, 0, len(registry))
@@ -150,14 +151,6 @@ func RunExperiment(ctx context.Context, name string, opts ...Option) ([]*report.
 		SetDefaultShards(o.Shards)
 	}
 	return e.run(ctx, o)
-}
-
-// RunExperimentOpts executes a registered experiment with a positional
-// Options struct and no cancellation.
-//
-// Deprecated: use RunExperiment with a context and functional options.
-func RunExperimentOpts(name string, opts Options) ([]*report.Table, error) {
-	return RunExperiment(context.Background(), name, WithOptions(opts))
 }
 
 // baselineCache memoizes no-management baselines across experiments in one

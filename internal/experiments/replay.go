@@ -119,7 +119,7 @@ func ReplayData(ctx context.Context, opts Options) ([]ReplayRow, error) {
 		}
 	}
 	sc := chaosScenario(opts)
-	return runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (ReplayRow, error) {
+	rows, err := runner.Map(ctx, opts.Parallelism, jobs, func(ctx context.Context, j job) (ReplayRow, error) {
 		row, err := ReplayCheck(ctx, sc, j.spec, j.cse, opts.Ticks/2)
 		if err != nil {
 			return ReplayRow{}, fmt.Errorf("%s/%s: %w", j.cse.Name, j.stack, err)
@@ -127,6 +127,16 @@ func ReplayData(ctx context.Context, opts Options) ([]ReplayRow, error) {
 		row.Stack = j.stack
 		return row, nil
 	})
+	if err != nil {
+		return nil, err
+	}
+	// The committed AoS-era golden checkpoint rides along: a resume across
+	// the cluster-layout generation gap must stay bit-identical too.
+	grow, err := GoldenReplay(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("aos-golden: %w", err)
+	}
+	return append(rows, grow), nil
 }
 
 // Replay renders E16: the chaos soak with a mid-run kill and checkpoint
@@ -144,7 +154,8 @@ func Replay(ctx context.Context, opts Options) ([]*report.Table, error) {
 		Note: "Each run is killed halfway, its snapshot round-tripped through the on-disk " +
 			"encoding, and resumed on a fresh engine; 'identical' is a bitwise " +
 			"(Float64bits) comparison of the per-tick series and final summaries " +
-			"against the uninterrupted run.",
+			"against the uninterrupted run. The aos-golden row resumes the committed " +
+			"pre-columnar checkpoint against its committed result bits.",
 		Header: []string{"Scenario", "Stack", "Kill@", "Identical", "Snapshot",
 			"Violates(GM)", "Perf-loss"},
 	}

@@ -135,7 +135,8 @@ func TestReplayGoldenChaosCases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 2 * len(ChaosCases()); len(rows) != want {
+	// 2 stacks x every chaos case, plus the committed aos-golden row.
+	if want := 2*len(ChaosCases()) + 1; len(rows) != want {
 		t.Fatalf("rows = %d, want %d", len(rows), want)
 	}
 	for _, r := range rows {
@@ -192,7 +193,7 @@ func TestReplayExperimentRegistered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 1 || len(tables[0].Rows) != 2*len(ChaosCases()) {
+	if len(tables) != 1 || len(tables[0].Rows) != 2*len(ChaosCases())+1 {
 		t.Errorf("replay tables = %d with %d rows", len(tables), len(tables[0].Rows))
 	}
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"nopower/internal/core"
+	"nopower/internal/report"
+	"nopower/internal/runner"
+	"nopower/internal/tracegen"
+)
+
+// scale100kFleetSize is the E18 fleet: a 100k-server synthetic data center,
+// the scale the columnar (struct-of-arrays) cluster store was built for.
+const scale100kFleetSize = 100000
+
+// scale100kFleetSizeShort is the shrunk fleet for short runs (tests,
+// smokes): large enough that every shard holds many enclosures and the
+// demand block cache refills mid-run, small enough to finish in seconds.
+const scale100kFleetSizeShort = 2000
+
+// scale100kFleet picks the fleet size: the full 100k fleet for paper-length
+// runs, the shrunk one for short runs.
+func scale100kFleet(opts Options) int {
+	if opts.Ticks < 2000 {
+		return scale100kFleetSizeShort
+	}
+	return scale100kFleetSize
+}
+
+// scale100kScenario builds the E18 scenario: the same blend, budgets, and
+// VMC-less coordinated stack as E17, at 10x the fleet.
+func scale100kScenario(opts Options) (Scenario, core.Spec) {
+	sc := Scenario{
+		Model:   "BladeA",
+		Mix:     tracegen.ScaleMix(scale100kFleet(opts)),
+		Budgets: Base201510(),
+		Ticks:   opts.Ticks,
+		Seed:    opts.Seed,
+	}
+	return sc, core.NoVMC()
+}
+
+// Scale100kData runs the 100k-fleet scenario once per shard setting and
+// verifies each sharded run's summary is bitwise identical to the serial one.
+func Scale100kData(ctx context.Context, opts Options) ([]ScaleRow, error) {
+	opts = opts.normalized()
+	sc, spec := scale100kScenario(opts)
+
+	bsc := sc
+	bsc.Shards = runtime.GOMAXPROCS(0)
+	baseline, err := BaselinePower(ctx, bsc)
+	if err != nil {
+		return nil, fmt.Errorf("scale100k baseline: %w", err)
+	}
+
+	results, err := runner.Map(ctx, opts.Parallelism, scaleShardCounts(),
+		func(ctx context.Context, shards int) (ScaleRow, error) {
+			s := sc
+			s.Shards = shards
+			res, err := RunVsBaseline(ctx, s, spec, baseline)
+			if err != nil {
+				return ScaleRow{}, fmt.Errorf("scale100k shards=%d: %w", shards, err)
+			}
+			return ScaleRow{Shards: shards, Result: res}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ref := results[0].Result // shards=1: the serial reference
+	for i := range results {
+		results[i].Identical = resultBitsEqual(results[i].Result, ref)
+	}
+	return results, nil
+}
+
+// Scale100k renders E18: the columnar cluster store on a synthetic
+// 100k-server fleet, serial vs sharded. Like E17 the claim is correctness —
+// every sharded run must reproduce the serial run bitwise at the Float64bits
+// level; wall clock lives in BenchmarkScale100k. A non-identical row fails
+// the experiment.
+func Scale100k(ctx context.Context, opts Options) ([]*report.Table, error) {
+	opts = opts.normalized()
+	rows, err := Scale100kData(ctx, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		Title: fmt.Sprintf("Scale100k — %d-server fleet, columnar store, sharded vs serial", scale100kFleet(opts)),
+		Note: "Same scenario at every shard count; 'bit-identical' compares every final " +
+			"metric against the shards=1 run with math.Float64bits. Wall-clock speedup " +
+			"is benchmarked separately (BenchmarkScale100k).",
+		Header: []string{"Shards", "Avg power (W)", "Savings", "Perf-loss",
+			"Viol SM/EM/GM (%)", "Bit-identical"},
+	}
+	for _, r := range rows {
+		ident := "yes"
+		if !r.Identical {
+			ident = "NO"
+		}
+		t.AddRow(fmt.Sprintf("%d", r.Shards),
+			fmt.Sprintf("%.0f", r.Result.AvgPower),
+			report.Pct(r.Result.PowerSavings),
+			report.Pct(r.Result.PerfLoss),
+			fmt.Sprintf("%s/%s/%s", report.Pct(r.Result.ViolSM),
+				report.Pct(r.Result.ViolEM), report.Pct(r.Result.ViolGM)),
+			ident)
+		if !r.Identical {
+			err = fmt.Errorf("experiments: scale100k run diverged at shards=%d", r.Shards)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}

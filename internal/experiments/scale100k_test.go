@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// E18 — the columnar store must produce bitwise-identical results serial vs
+// sharded. The test runs the shrunk fleet (2000 servers, still dozens of
+// enclosures per shard) at every shard count on the ladder and requires
+// Float64bits identity against the shards=1 reference; the full 100k fleet
+// runs the identical code via `npexp scale100k`.
+func TestScale100kBitIdentical(t *testing.T) {
+	rows, err := Scale100kData(ctx, Options{Ticks: 120, Seed: 42, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 1 || rows[0].Shards != 1 {
+		t.Fatalf("first row must be the serial reference, got %+v", rows)
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("shards=%d diverged from the serial run", r.Shards)
+		}
+	}
+}
+
+// The registered runner must fail loudly on divergence and render one table.
+func TestScale100kExperimentRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "scale100k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scale100k missing from Names(): %v", Names())
+	}
+	tables, err := RunExperiment(ctx, "scale100k", WithTicks(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Errorf("scale100k tables = %+v", tables)
+	}
+}

@@ -57,7 +57,7 @@ func TestSavingsAgainstBaseline(t *testing.T) {
 func TestPerfLossAccounting(t *testing.T) {
 	// Saturating demand at the deepest P-state loses a known fraction.
 	cl := testutil.StandaloneCluster(t, 1, 10, 1.0)
-	cl.Servers[0].PState = 4 // capacity 0.533 vs demand 1.1
+	cl.SetPState(0, 4) // capacity 0.533 vs demand 1.1
 	var c Collector
 	cl.Advance(0)
 	c.Observe(cl)

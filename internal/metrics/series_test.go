@@ -109,9 +109,9 @@ func TestSeriesHeadroomColumns(t *testing.T) {
 	if len(cl.Enclosures) == 0 && s.HeadroomEnc[0] != 0 {
 		t.Errorf("HeadroomEnc[0] = %v, want 0 with no enclosures", s.HeadroomEnc[0])
 	}
-	wantLoc := cl.Servers[0].StaticCap - cl.Servers[0].Power
-	for _, sv := range cl.Servers[1:] {
-		if h := sv.StaticCap - sv.Power; h < wantLoc {
+	wantLoc := cl.StaticCap(0) - cl.Power(0)
+	for i := 1; i < cl.NumServers(); i++ {
+		if h := cl.StaticCap(i) - cl.Power(i); h < wantLoc {
 			wantLoc = h
 		}
 	}

@@ -57,6 +57,17 @@ type Model struct {
 	PStates []PState
 	// OffWatts is the draw of a machine that the VMC has powered off.
 	OffWatts float64
+
+	// Derived lookup tables, frozen by Validate. The hot per-server-tick
+	// paths (Capacity, Quantize, MaxFreq) hit these instead of re-deriving
+	// from PStates: the values are the exact results of the same
+	// expressions, so cached and uncached models are bit-identical. The
+	// tables are only trusted while they match len(PStates) — mutating
+	// PStates after Validate requires calling Validate again.
+	freqs   []float64 // freqs[p] = PStates[p].FreqMHz
+	relFreq []float64 // relFreq[p] = PStates[p].FreqMHz / PStates[0].FreqMHz
+	powC    []float64 // powC[p] = PStates[p].C
+	powD    []float64 // powD[p] = PStates[p].D
 }
 
 // Validate checks the structural assumptions the controllers rely on:
@@ -87,7 +98,24 @@ func (m *Model) Validate() error {
 	if m.OffWatts < 0 {
 		return fmt.Errorf("model %s: negative off power", m.Name)
 	}
+	m.freeze()
 	return nil
+}
+
+// freeze (re)builds the derived lookup tables from PStates. Called by
+// Validate, which every model passes through before a cluster uses it.
+func (m *Model) freeze() {
+	n := len(m.PStates)
+	m.freqs = make([]float64, n)
+	m.relFreq = make([]float64, n)
+	m.powC = make([]float64, n)
+	m.powD = make([]float64, n)
+	for i := range m.PStates {
+		m.freqs[i] = m.PStates[i].FreqMHz
+		m.relFreq[i] = m.PStates[i].FreqMHz / m.PStates[0].FreqMHz
+		m.powC[i] = m.PStates[i].C
+		m.powD[i] = m.PStates[i].D
+	}
 }
 
 // NumPStates returns the number of operating points.
@@ -109,11 +137,21 @@ func (m *Model) MinActivePower() float64 { return m.PStates[len(m.PStates)-1].D 
 
 // RelFreq returns a_p = f_p/f_0, the performance slope of P-state p.
 func (m *Model) RelFreq(p int) float64 {
+	if len(m.relFreq) == len(m.PStates) {
+		return m.relFreq[p]
+	}
 	return m.PStates[p].FreqMHz / m.PStates[0].FreqMHz
 }
 
 // Power returns the draw at P-state p and utilization r.
-func (m *Model) Power(p int, r float64) float64 { return m.PStates[p].Power(r) }
+func (m *Model) Power(p int, r float64) float64 {
+	if len(m.powC) == len(m.PStates) {
+		// Same coefficients, same expression as PState.Power — frozen
+		// columns only save the PState struct copy per call.
+		return m.powC[p]*clamp01(r) + m.powD[p]
+	}
+	return m.PStates[p].Power(r)
+}
 
 // Perf returns the work done per tick at P-state p and utilization r, as a
 // fraction of the full-speed fully-busy work rate: perf = a_p * r.
@@ -128,8 +166,17 @@ func (m *Model) Capacity(p int) float64 { return m.RelFreq(p) }
 // available P-state, the f -> f_q step in the paper's EC.
 func (m *Model) Quantize(freqMHz float64) int {
 	best, bestDist := 0, math.Inf(1)
-	for i, ps := range m.PStates {
-		if d := math.Abs(ps.FreqMHz - freqMHz); d < bestDist {
+	if fs := m.freqs; len(fs) == len(m.PStates) {
+		for i, f := range fs {
+			if d := math.Abs(f - freqMHz); d < bestDist {
+				best, bestDist = i, d
+			}
+		}
+		return best
+	}
+	ps := m.PStates
+	for i := range ps {
+		if d := math.Abs(ps[i].FreqMHz - freqMHz); d < bestDist {
 			best, bestDist = i, d
 		}
 	}

@@ -88,15 +88,14 @@ func (e *EventInjector) Restore(data []byte) error {
 // the point.
 func FailServer(at, server int) Event {
 	return Event{At: at, Name: fmt.Sprintf("fail-server-%d", server), Apply: func(cl *cluster.Cluster) {
-		if server < 0 || server >= len(cl.Servers) {
+		if server < 0 || server >= cl.NumServers() {
 			return
 		}
-		s := cl.Servers[server]
 		// Evict the VMs to the least-loaded powered server (emergency
 		// restart elsewhere), then cut power. This models the failover an
 		// HA layer would perform underneath the power stack.
-		for len(s.VMs) > 0 {
-			vmID := s.VMs[0]
+		for len(cl.ServerVMs(server)) > 0 {
+			vmID := cl.ServerVMs(server)[0]
 			target := emergencyTarget(cl, server)
 			if target < 0 {
 				break // nowhere to go; VM stays and will read as lost work
@@ -104,19 +103,17 @@ func FailServer(at, server int) Event {
 			if err := cl.Move(vmID, target, at); err != nil {
 				break
 			}
-			if len(s.VMs) > 0 && s.VMs[0] == vmID {
+			if rest := cl.ServerVMs(server); len(rest) > 0 && rest[0] == vmID {
 				// Progress guard: Move returned success but the head VM is
 				// still here (e.g. bookkeeping already inconsistent). Without
 				// this the loop would re-read the same head forever.
 				break
 			}
 		}
-		if len(s.VMs) == 0 {
-			// PowerOff cannot fail on an empty server.
-			_ = cl.PowerOff(server)
-		} else {
-			s.On = false // stranded VMs lose their work: a real outage
-		}
+		// ForceOff handles both outcomes: a clean shutdown when evacuation
+		// succeeded, and a hard failure with stranded VMs (lost work) when
+		// it did not.
+		cl.ForceOff(server)
 	}}
 }
 
@@ -124,12 +121,12 @@ func FailServer(at, server int) Event {
 // with the lowest measured demand.
 func emergencyTarget(cl *cluster.Cluster, exclude int) int {
 	best, bestLoad := -1, 0.0
-	for _, s := range cl.Servers {
-		if s.ID == exclude || !s.On {
+	for i, n := 0, cl.NumServers(); i < n; i++ {
+		if i == exclude || !cl.On(i) {
 			continue
 		}
-		if best < 0 || s.DemandSum < bestLoad {
-			best, bestLoad = s.ID, s.DemandSum
+		if d := cl.DemandSum(i); best < 0 || d < bestLoad {
+			best, bestLoad = i, d
 		}
 	}
 	return best
@@ -138,7 +135,7 @@ func emergencyTarget(cl *cluster.Cluster, exclude int) int {
 // RestoreServer returns an event that brings a failed machine back online.
 func RestoreServer(at, server int) Event {
 	return Event{At: at, Name: fmt.Sprintf("restore-server-%d", server), Apply: func(cl *cluster.Cluster) {
-		if server >= 0 && server < len(cl.Servers) {
+		if server >= 0 && server < cl.NumServers() {
 			cl.PowerOn(server)
 		}
 	}}
@@ -158,8 +155,8 @@ func SetGroupBudget(at int, watts float64) Event {
 // SetServerBudget returns an event that changes one server's static budget.
 func SetServerBudget(at, server int, watts float64) Event {
 	return Event{At: at, Name: fmt.Sprintf("server-%d-budget-%.0fW", server, watts), Apply: func(cl *cluster.Cluster) {
-		if server >= 0 && server < len(cl.Servers) && watts > 0 {
-			cl.Servers[server].StaticCap = watts
+		if server >= 0 && server < cl.NumServers() && watts > 0 {
+			cl.SetStaticCap(server, watts)
 		}
 	}}
 }
@@ -171,8 +168,6 @@ func ScaleDemand(at int, factor float64) Event {
 		if factor <= 0 {
 			return
 		}
-		for _, vm := range cl.VMs {
-			vm.Trace.Scale(factor)
-		}
+		cl.ScaleDemand(factor)
 	}}
 }

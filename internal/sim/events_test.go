@@ -37,7 +37,7 @@ func TestFailServerStrandsAndEvacuates(t *testing.T) {
 	if _, err := eng.Run(10); err != nil {
 		t.Fatal(err)
 	}
-	if cl.Servers[0].On {
+	if cl.On(0) {
 		t.Error("failed server still on")
 	}
 	if cl.VMs[0].Server == 0 {
@@ -69,7 +69,7 @@ func TestRestoreServer(t *testing.T) {
 	if _, err := eng.Run(10); err != nil {
 		t.Fatal(err)
 	}
-	if !cl.Servers[0].On || cl.Servers[0].PState != 0 {
+	if !cl.On(0) || cl.PState(0) != 0 {
 		t.Error("server not restored at P0")
 	}
 }
@@ -84,8 +84,8 @@ func TestBudgetEvents(t *testing.T) {
 	if cl.StaticCapGrp != 123 {
 		t.Errorf("group budget = %v", cl.StaticCapGrp)
 	}
-	if cl.Servers[1].StaticCap != 45 {
-		t.Errorf("server budget = %v", cl.Servers[1].StaticCap)
+	if cl.StaticCap(1) != 45 {
+		t.Errorf("server budget = %v", cl.StaticCap(1))
 	}
 	// Invalid values are ignored.
 	inj2 := NewEventInjector(SetGroupBudget(0, -5), SetServerBudget(0, 99, 10))
@@ -160,7 +160,7 @@ func TestFailServerProgressGuard(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("FailServer livelocked on a non-removing Move")
 	}
-	if cl.Servers[0].On {
+	if cl.On(0) {
 		t.Error("failed server with stranded VM must still go dark")
 	}
 }
@@ -189,18 +189,18 @@ func TestRestoreServerAfterStrandedFailure(t *testing.T) {
 		}
 	}
 	probe() // ticks 0-2: failure fired
-	if cl.Servers[0].On {
+	if cl.On(0) {
 		t.Fatal("server still on after failure")
 	}
 	if err := cl.CheckInvariants(); err == nil {
 		t.Error("stranded-VM outage should violate placement invariants")
 	}
 	probe() // ticks 3-5: restore fired
-	if !cl.Servers[0].On || cl.Servers[0].PState != 0 {
+	if !cl.On(0) || cl.PState(0) != 0 {
 		t.Error("server not restored at P0")
 	}
-	if len(cl.Servers[0].VMs) != 1 {
-		t.Errorf("stranded VM lost across restore: %v", cl.Servers[0].VMs)
+	if len(cl.ServerVMs(0)) != 1 {
+		t.Errorf("stranded VM lost across restore: %v", cl.ServerVMs(0))
 	}
 	if err := cl.CheckInvariants(); err != nil {
 		t.Errorf("invariants broken after restore: %v", err)

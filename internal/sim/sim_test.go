@@ -96,7 +96,7 @@ type corruptor struct{}
 func (corruptor) Name() string { return "corruptor" }
 func (corruptor) Tick(k int, cl *cluster.Cluster) {
 	if k == 2 {
-		cl.VMs[0].Server = 99999 % len(cl.Servers) // lie without updating lists
+		cl.VMs[0].Server = 99999 % cl.NumServers() // lie without updating lists
 		cl.VMs[0].Server = 1
 	}
 }

@@ -34,6 +34,12 @@ func (t *Trace) Len() int { return len(t.Demand) }
 // At returns the demand at tick k; traces repeat cyclically, so simulations
 // longer than the trace wrap around (the paper's traces are multi-day loops).
 func (t *Trace) At(k int) float64 {
+	// In-range ticks (the overwhelmingly common case: simulations at most as
+	// long as their traces) skip the modulo — an integer division per VM per
+	// tick is measurable at fleet scale.
+	if uint(k) < uint(len(t.Demand)) {
+		return t.Demand[k]
+	}
 	if len(t.Demand) == 0 {
 		return 0
 	}

@@ -8,7 +8,18 @@ COVER_PKG    = ./internal/obs
 COVER_MIN    = 80.0
 COVER_OUT    = coverage.out
 
-.PHONY: all build test race bench check fmt vet cover soak verify lint
+# Perf flight recorder (DESIGN.md §13): bench-json records a comparable
+# BENCH_<stamp>.json artifact; verify smoke-compares a default-benchtime
+# run of the scale benchmarks against the newest committed baseline. The
+# threshold is deliberately loose (200%) because the host is noisy and a
+# short run still carries warm-up — the gate catches order-of-magnitude
+# rot, not percent drift; `make bench-json` plus
+# `npprof compare -max-regress 0.05` is the precise workflow.
+BENCH_DIR         ?= bench
+BENCH_MAX_REGRESS ?= 2.0
+BENCH_BASELINE    ?= $(lastword $(sort $(wildcard $(BENCH_DIR)/BENCH_*.json)))
+
+.PHONY: all build test race bench bench-json check fmt vet cover soak verify lint
 
 all: check
 
@@ -19,10 +30,11 @@ test:
 	$(GO) test ./...
 
 # verify is the baseline everything-compiles-and-passes gate: clean
-# formatting, vet, a full build, the test suite, and a one-iteration smoke
-# of the 10k-fleet benchmark (so the sharded scale path cannot rot between
-# full bench runs) — the checks a reviewer assumes are green before
-# reading a line.
+# formatting, vet, a full build, the test suite, and a short smoke of the
+# scale benchmarks piped through the flight recorder and compared
+# against the committed baseline (so neither the sharded scale path nor
+# the bench-json pipeline can rot between full bench runs) — the checks a
+# reviewer assumes are green before reading a line.
 verify: lint
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -31,8 +43,16 @@ verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -run '^$$' -bench 'BenchmarkScale10k' -benchtime 1x .
-	$(GO) test -run '^$$' -bench 'BenchmarkScale100k' -benchtime 1x .
+	@tmp=$$(mktemp); \
+	NPBENCH_PROFILE=1 $(GO) test -run '^$$' -bench 'BenchmarkScale10k|BenchmarkScale100k' . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/npprof record -note "verify smoke" -o $$tmp || exit 1; \
+	if [ -n "$(BENCH_BASELINE)" ]; then \
+		$(GO) run ./cmd/npprof compare -max-regress $(BENCH_MAX_REGRESS) $(BENCH_BASELINE) $$tmp || { rm -f $$tmp; exit 1; }; \
+	else \
+		echo "no baseline in $(BENCH_DIR)/ — skipping compare (run make bench-json)"; \
+	fi; \
+	rm -f $$tmp
 
 # lint enforces the columnar-store API boundary: the per-server struct
 # (cluster.Server) and the struct slice (cl.Servers) were removed in the
@@ -60,6 +80,19 @@ race: verify cover
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# bench-json records the perf flight recorder: the scale and sweep
+# benchmarks run with the span profiler attached (phase breakdown +
+# imbalance ride along as custom metrics) and the output lands as a
+# schema-versioned artifact under $(BENCH_DIR)/. Compare two stamps with
+# `go run ./cmd/npprof compare old.json new.json`.
+bench-json:
+	@mkdir -p $(BENCH_DIR)
+	@stamp=$$(date -u +%Y%m%dT%H%M%SZ); \
+	NPBENCH_PROFILE=1 $(GO) test -run '^$$' -benchmem \
+		-bench 'BenchmarkScale10k|BenchmarkScale100k|BenchmarkParallelSweep' . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/npprof record -note "make bench-json" -o $(BENCH_DIR)/BENCH_$$stamp.json
 
 # soak runs the fault-injection acceptance suite under the race detector:
 # every chaos scenario against both stacks with FaultPolicy = degrade, the

@@ -9,6 +9,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/model"
+	"nopower/internal/obs/prof"
 	"nopower/internal/tracegen"
 )
 
@@ -205,15 +207,54 @@ func BenchmarkClusterAdvance(b *testing.B) {
 	}
 }
 
-// BenchmarkScale10k is the E17 wall-clock companion: one full simulated run
-// over the synthetic 10k-server fleet (coordinated stack minus the VMC, like
-// the scale experiment), serial vs one shard per CPU. The scale experiment
-// verifies the runs are bitwise identical; this benchmark measures what the
-// sharding buys. Trace synthesis and cluster construction happen outside the
-// timer — the tick loop is the subject.
-func BenchmarkScale10k(b *testing.B) {
+// benchProfiler returns a fresh span profiler when the run asked for the
+// phase breakdown (NPBENCH_PROFILE=1, set by `make bench-json`), else nil —
+// the default keeps the benchmarks measuring the unobserved engine.
+func benchProfiler() *prof.Profiler {
+	if os.Getenv("NPBENCH_PROFILE") == "" {
+		return nil
+	}
+	return prof.New(1 << 20)
+}
+
+// reportPhases turns the profiled run's span ring into custom benchmark
+// metrics: mean ns per span for the dominant engine phases plus the shard
+// load-imbalance ratio. They ride the `go test -bench` output into the
+// flight-recorder artifact (npprof record), giving every BENCH_*.json a
+// phase breakdown next to its ns/op.
+func reportPhases(b *testing.B, p *prof.Profiler) {
+	if p == nil {
+		return
+	}
+	unit := map[string]string{
+		prof.PhaseAdvance:    "advance-ns/tick",
+		prof.PhaseReduce:     "reduce-ns/tick",
+		prof.PhaseObserve:    "observe-ns/tick",
+		prof.PhaseTick:       "tick-ns/tick",
+		prof.PhaseCheckpoint: "checkpoint-ns/op",
+	}
+	for _, st := range p.PhaseStats() {
+		if u, ok := unit[st.Phase]; ok && st.Count > 0 {
+			b.ReportMetric(float64(st.Total)/float64(st.Count), u)
+		}
+	}
+	if imb := p.ShardImbalance(prof.PhaseShard); imb > 0 {
+		b.ReportMetric(imb, "imbalance")
+	}
+}
+
+// benchScaleFleet runs one full simulated run over a synthetic fleet
+// (coordinated stack minus the VMC, like the scale experiments), serial vs
+// one shard per CPU. The scale experiments verify the runs are bitwise
+// identical; these benchmarks measure what the sharding buys. Trace
+// synthesis and cluster construction happen outside the timer — the tick
+// loop is the subject. With NPBENCH_PROFILE=1 each run is profiled and the
+// phase breakdown is reported as custom metrics (profiling is outside the
+// default path so the headline ns/op stays unobserved).
+func benchScaleFleet(b *testing.B, servers int) {
+	b.Helper()
 	const ticks = 60
-	set, err := tracegen.BuildMix(tracegen.ScaleMix(10000), ticks, 42)
+	set, err := tracegen.BuildMix(tracegen.ScaleMix(servers), ticks, 42)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -225,6 +266,7 @@ func BenchmarkScale10k(b *testing.B) {
 	}
 	for _, shards := range shardCounts {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			p := benchProfiler()
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -238,54 +280,24 @@ func BenchmarkScale10k(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				eng.Prof = p
 				b.StartTimer()
 				if _, err := eng.Run(ticks); err != nil {
 					b.Fatal(err)
 				}
 			}
+			reportPhases(b, p)
 		})
 	}
 }
 
-// BenchmarkScale100k is the E18 wall-clock companion: the BenchmarkScale10k
-// setup at a 100k-server fleet. The acceptance bar for the columnar cluster
-// store is ≥2x tick throughput here over the AoS baseline recorded in
-// EXPERIMENTS.md.
-func BenchmarkScale100k(b *testing.B) {
-	const ticks = 60
-	set, err := tracegen.BuildMix(tracegen.ScaleMix(100000), ticks, 42)
-	if err != nil {
-		b.Fatal(err)
-	}
-	sc := experiments.Scenario{Model: "BladeA", Budgets: experiments.Base201510(),
-		Ticks: ticks, Seed: 42, Traces: set}
-	shardCounts := []int{1}
-	if n := runtime.GOMAXPROCS(0); n > 1 {
-		shardCounts = append(shardCounts, n)
-	}
-	for _, shards := range shardCounts {
-		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				cl, err := sc.BuildCluster()
-				if err != nil {
-					b.Fatal(err)
-				}
-				spec := core.NoVMC()
-				spec.Shards = shards
-				eng, _, err := core.Build(cl, spec)
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-				if _, err := eng.Run(ticks); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
+// BenchmarkScale10k is the E17 wall-clock companion at a 10k-server fleet.
+func BenchmarkScale10k(b *testing.B) { benchScaleFleet(b, 10000) }
+
+// BenchmarkScale100k is the E18 wall-clock companion: the same setup at a
+// 100k-server fleet. The acceptance bar for the columnar cluster store is
+// ≥2x tick throughput here over the AoS baseline recorded in EXPERIMENTS.md.
+func BenchmarkScale100k(b *testing.B) { benchScaleFleet(b, 100000) }
 
 // BenchmarkBinpack180 measures one VMC packing problem: 180 VMs, 180 bins.
 func BenchmarkBinpack180(b *testing.B) {

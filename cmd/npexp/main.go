@@ -27,6 +27,7 @@ import (
 
 	"nopower/internal/experiments"
 	"nopower/internal/obs"
+	"nopower/internal/obs/prof"
 	"nopower/internal/report"
 	"nopower/internal/runner"
 )
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		verbose   = fs.Int("v", 0, "log verbosity: 0 = progress, 1+ = per-experiment runner detail")
 		httpAddr  = fs.String("http", "", "serve /metrics, /healthz and /debug/pprof on this address for the batch's duration (e.g. :8080)")
 		resumeDir = fs.String("resume-dir", "", "persist finished experiments into this directory and skip them on rerun (resumable batches)")
+		timeline  = fs.String("timeline", "", "write a Chrome trace-event timeline of every simulation's internal phases to this path (open in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -98,9 +100,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"addr", srv.Addr.String(), "paths", "/metrics /healthz /debug/pprof/")
 	}
 
-	// The default reaches scenarios that experiments build internally
-	// (baselines, chaos runs); the option covers the explicit path.
+	// The defaults reach scenarios that experiments build internally
+	// (baselines, chaos runs); the options cover the explicit path.
 	experiments.SetDefaultShards(*shards)
+	var profiler *prof.Profiler
+	if *timeline != "" {
+		profiler = prof.New(0)
+		experiments.SetDefaultProfiler(profiler)
+	}
 	opts := []experiments.Option{
 		experiments.WithTicks(*ticks),
 		experiments.WithSeed(*seed),
@@ -207,6 +214,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			logger.Error("json encode failed", "err", err)
 			return 1
 		}
+	}
+	if profiler != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			logger.Error("timeline", "err", err)
+			return 1
+		}
+		if err := profiler.WriteChromeTrace(f); err != nil {
+			f.Close()
+			logger.Error("timeline", "err", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			logger.Error("timeline", "err", err)
+			return 1
+		}
+		logger.Info("timeline written", "spans", profiler.Len(),
+			"dropped", profiler.Dropped(), "path", *timeline)
 	}
 	return 0
 }

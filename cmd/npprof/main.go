@@ -1,0 +1,184 @@
+// Command npprof manages the perf flight recorder: schema-versioned JSON
+// artifacts capturing one `go test -bench` run (see internal/obs/prof and
+// DESIGN.md §13). `record` parses bench output into an artifact, `show`
+// pretty-prints one, and `compare` joins two on benchmark name and gates
+// the ns/op deltas against a regression threshold — the `make verify`
+// perf smoke.
+//
+// Usage:
+//
+//	go test -bench 'Scale' . | npprof record -note "columnar store" -o bench/BENCH_$(date -u +%Y%m%dT%H%M%SZ).json
+//	npprof show bench/BENCH_20260808T120000Z.json
+//	npprof compare -max-regress 0.03 bench/BENCH_old.json bench/BENCH_new.json
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 regression detected (compare).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"nopower/internal/obs/prof"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run executes the CLI; split from main for testability.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	switch cmd {
+	case "record":
+		note := fs.String("note", "", "free-form label stored in the artifact")
+		out := fs.String("o", "", "output artifact path (default stdout)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		in := stdin
+		if fs.NArg() == 1 {
+			f, err := os.Open(fs.Arg(0))
+			if err != nil {
+				fmt.Fprintln(stderr, "npprof:", err)
+				return 1
+			}
+			defer f.Close()
+			in = f
+		} else if fs.NArg() > 1 {
+			fmt.Fprintln(stderr, "npprof: record takes at most one input file (default stdin)")
+			return 2
+		}
+		benches, err := prof.ParseGoBench(in)
+		if err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		a := prof.NewArtifact(*note, benches)
+		w := stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(stderr, "npprof:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := prof.WriteArtifact(w, a); err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		if *out != "" {
+			fmt.Fprintf(stderr, "npprof: recorded %d benchmarks to %s\n", len(benches), *out)
+		}
+		return 0
+	case "show":
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
+			fmt.Fprintln(stderr, "npprof: show takes exactly one artifact path")
+			return 2
+		}
+		a, err := prof.ReadArtifact(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		showArtifact(stdout, a)
+		return 0
+	case "compare":
+		maxRegress := fs.Float64("max-regress", 0.03,
+			"fail (exit 3) when a benchmark's ns/op exceeds base*(1+this)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
+		}
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "npprof: compare takes exactly two artifact paths: base head")
+			return 2
+		}
+		base, err := prof.ReadArtifact(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		head, err := prof.ReadArtifact(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		if base.Host != head.Host {
+			fmt.Fprintf(stderr, "npprof: warning: artifacts from different hosts (%+v vs %+v); numbers may not be comparable\n",
+				base.Host, head.Host)
+		}
+		deltas, onlyBase, onlyHead, err := prof.Compare(base, head, *maxRegress)
+		if err != nil {
+			fmt.Fprintln(stderr, "npprof:", err)
+			return 1
+		}
+		regressed := 0
+		fmt.Fprintf(stdout, "%-44s %-12s %14s %14s %8s\n", "benchmark", "metric", "base", "head", "ratio")
+		for _, d := range deltas {
+			mark := ""
+			if d.Regressed {
+				mark = "  REGRESSED"
+				regressed++
+			}
+			fmt.Fprintf(stdout, "%-44s %-12s %14.6g %14.6g %8.3f%s\n",
+				d.Name, d.Metric, d.Old, d.New, d.Ratio, mark)
+		}
+		for _, n := range onlyBase {
+			fmt.Fprintf(stdout, "only in base: %s\n", n)
+		}
+		for _, n := range onlyHead {
+			fmt.Fprintf(stdout, "only in head: %s\n", n)
+		}
+		if regressed > 0 {
+			fmt.Fprintf(stderr, "npprof: %d benchmark(s) regressed beyond %.1f%% on %s\n",
+				regressed, *maxRegress*100, prof.GatingMetric)
+			return 3
+		}
+		return 0
+	}
+	usage(stderr)
+	return 2
+}
+
+// showArtifact pretty-prints one flight-recorder file.
+func showArtifact(w io.Writer, a prof.Artifact) {
+	fmt.Fprintf(w, "recorded %s on %s/%s (%d CPUs, %s, host %s)\n",
+		time.Unix(a.CreatedUnix, 0).UTC().Format(time.RFC3339),
+		a.Host.OS, a.Host.Arch, a.Host.CPUs, a.Host.GoVersion, a.Host.Hostname)
+	if a.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", a.Note)
+	}
+	for _, b := range a.Benchmarks {
+		fmt.Fprintf(w, "%-52s %10d iters", b.Name, b.Iters)
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(w, "  %g %s", b.Metrics[u], u)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage:
+  npprof record  [-note s] [-o out.json] [bench-output.txt]   (default: stdin)
+  npprof show    artifact.json
+  npprof compare [-max-regress 0.03] base.json head.json      (exit 3 on regression)`)
+}

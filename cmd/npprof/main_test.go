@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+BenchmarkScale10k/shards=1-8         	       4	 285000000 ns/op	 1200000 B/op	    9000 allocs/op
+BenchmarkScale10k/shards=8-8         	      12	  95000000 ns/op	 1300000 B/op	    9500 allocs/op	    1.25 imbalance
+PASS
+ok  	nopower	12.3s
+`
+
+// record writes benchOutput (with ns/op scaled by factor) through the record
+// subcommand and returns the artifact path.
+func record(t *testing.T, dir, name string, factor float64) string {
+	t.Helper()
+	scaled := benchOutput
+	if factor != 1 {
+		scaled = strings.ReplaceAll(scaled, "285000000", "342000000") // +20%
+	}
+	path := filepath.Join(dir, name)
+	var out, errOut bytes.Buffer
+	code := run([]string{"record", "-note", "test", "-o", path},
+		strings.NewReader(scaled), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("record exit %d: %s", code, errOut.String())
+	}
+	return path
+}
+
+func TestRecordAndShow(t *testing.T) {
+	dir := t.TempDir()
+	path := record(t, dir, "base.json", 1)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"show", path}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("show exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"note: test", "BenchmarkScale10k/shards=1",
+		"2.85e+08 ns/op", "1.25 imbalance"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("show output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRecordToStdout(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"record"}, strings.NewReader(benchOutput), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `"schema": 1`) {
+		t.Errorf("stdout artifact missing schema:\n%s", out.String())
+	}
+}
+
+func TestRecordRejectsEmptyInput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"record"}, strings.NewReader("PASS\nok\n"), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1 for input with no benchmark lines", code)
+	}
+	if !strings.Contains(errOut.String(), "no benchmark result lines") {
+		t.Errorf("stderr %q", errOut.String())
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := record(t, dir, "base.json", 1)
+	head := record(t, dir, "head.json", 1) // identical numbers
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", base, head}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("compare exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "ns/op") || !strings.Contains(out.String(), "1.000") {
+		t.Errorf("delta table missing:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := record(t, dir, "base.json", 1)
+	head := record(t, dir, "head.json", 1.2) // shards=1 ns/op +20%
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"compare", "-max-regress", "0.03", base, head}, nil, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("compare exit %d, want 3 on regression:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("regressed delta not marked:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "regressed beyond 3.0%") {
+		t.Errorf("stderr %q", errOut.String())
+	}
+
+	// A generous threshold lets the same pair pass.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"compare", "-max-regress", "0.5", base, head}, nil, &out, &errOut); code != 0 {
+		t.Fatalf("compare exit %d at 50%% threshold: %s", code, errOut.String())
+	}
+}
+
+func TestCompareErrorsWithoutSharedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := record(t, dir, "base.json", 1)
+	other := filepath.Join(dir, "other.json")
+	var out, errOut bytes.Buffer
+	code := run([]string{"record", "-o", other},
+		strings.NewReader("BenchmarkRenamed-8 \t 10\t 1000 ns/op\n"), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("record exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"compare", base, other}, nil, &out, &errOut); code != 1 {
+		t.Fatalf("compare exit %d, want 1 when no benchmarks are shared", code)
+	}
+}
+
+func TestUsageAndBadSubcommand(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, nil, &out, &errOut); code != 2 {
+		t.Errorf("no args exit %d", code)
+	}
+	if code := run([]string{"bogus"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("bogus subcommand exit %d", code)
+	}
+	if code := run([]string{"show"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("show without path exit %d", code)
+	}
+	if code := run([]string{"compare", "one.json"}, nil, &out, &errOut); code != 2 {
+		t.Errorf("compare with one path exit %d", code)
+	}
+	if code := run([]string{"show", filepath.Join(t.TempDir(), "missing.json")}, nil, &out, &errOut); code != 1 {
+		t.Errorf("show missing file exit %d", code)
+	}
+}

@@ -10,6 +10,7 @@
 //	npsim -chaos sm-crash -fault-policy degrade
 //	npsim -checkpoint-dir ckpt -checkpoint-every 500       # crash-safe run
 //	npsim -checkpoint-dir ckpt -resume                     # continue it
+//	npsim -shards 8 -timeline run.json                     # phase timeline (Perfetto)
 //
 // Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
 // nobudgets, vmlevel, energydelay, slo, none.
@@ -28,6 +29,7 @@ import (
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
 	"nopower/internal/obs"
+	"nopower/internal/obs/prof"
 	"nopower/internal/runner"
 	"nopower/internal/sim"
 	"nopower/internal/trace"
@@ -68,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptEvery = fs.Int("checkpoint-every", 500, "checkpoint interval in ticks (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the other flags must match the checkpointed run")
 		shards    = fs.Int("shards", 1, "goroutines per simulation tick for the plant/EC advance (results are bit-identical at any value)")
+		timeline  = fs.String("timeline", "", "write a Chrome trace-event timeline of the run's internal phases to this path (open in Perfetto)")
+		tlCap     = fs.Int("timeline-cap", 0, "span ring capacity for -timeline (0 = default; oldest spans are overwritten when full)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -147,6 +151,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *series != "" {
 		o.Series = &metrics.Series{Stride: *stride}
+	}
+	var profiler *prof.Profiler
+	if *timeline != "" {
+		profiler = prof.New(*tlCap)
+		o.Prof = profiler
 	}
 	o.FaultPolicy = policy
 
@@ -237,6 +246,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		logger.Info("series written", "samples", o.Series.Len(), "path", *series)
+	}
+	if profiler != nil {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fmt.Fprintln(stderr, "timeline:", err)
+			return 1
+		}
+		if err := profiler.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "timeline:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "timeline:", err)
+			return 1
+		}
+		top := "none"
+		if stats := profiler.PhaseStats(); len(stats) > 1 {
+			// stats[0] is the enclosing sim.tick; the next entry is the
+			// dominant sub-phase — the headline of "where did the tick go".
+			top = fmt.Sprintf("%s=%s", stats[1].Phase, stats[1].Total)
+		}
+		logger.Info("timeline written", "spans", profiler.Len(),
+			"dropped", profiler.Dropped(), "top", top, "path", *timeline)
 	}
 	if ndjson != nil {
 		if err := ndjson.Err(); err != nil {

@@ -4,9 +4,16 @@
 //
 // Usage:
 //
-//	nptrace gen  -mix 180 -ticks 3000 -seed 42 -o traces.csv
-//	nptrace stat -mix 180 -ticks 3000 -seed 42
-//	nptrace stat -in traces.csv
+//	nptrace gen    -mix 180 -ticks 3000 -seed 42 -o traces.csv
+//	nptrace stat   -mix 180 -ticks 3000 -seed 42
+//	nptrace stat   -in traces.csv
+//	nptrace events -in run.ndjson
+//
+// The events subcommand summarizes an actuation trace (`npsim -trace`):
+// per-controller and per-actuator event counts plus a conflict replay. It
+// tolerates a truncated or corrupt tail — the usual state of a trace whose
+// writer was killed mid-line — skipping bad lines with a warning instead of
+// refusing the whole file.
 package main
 
 import (
@@ -14,7 +21,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"nopower/internal/obs"
 	"nopower/internal/trace"
 	"nopower/internal/tracegen"
 )
@@ -68,6 +77,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "wrote %d traces x %d ticks to %s\n", set.Len(), *ticks, *out)
 		}
 		return 0
+	case "events":
+		if *in == "" {
+			fmt.Fprintln(stderr, "nptrace: events requires -in <trace.ndjson>")
+			return 2
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(stderr, "nptrace:", err)
+			return 1
+		}
+		defer f.Close()
+		events, bad, err := obs.ReadEvents(f)
+		if err != nil {
+			fmt.Fprintln(stderr, "nptrace:", err)
+			return 1
+		}
+		if bad > 0 {
+			fmt.Fprintf(stderr, "nptrace: warning: skipped %d malformed line(s) (truncated tail?)\n", bad)
+		}
+		if len(events) == 0 {
+			fmt.Fprintln(stderr, "nptrace: no events in", *in)
+			return 1
+		}
+		summarizeEvents(stdout, events)
+		return 0
 	case "stat":
 		var set *trace.Set
 		if *in != "" {
@@ -105,8 +139,57 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 2
 }
 
+// summarizeEvents prints the actuation-trace rollup: tick span, counts per
+// controller and per actuator, and a conflict replay through the same
+// detector the live engine uses.
+func summarizeEvents(w io.Writer, events []obs.Event) {
+	byCtl := map[string]int{}
+	byAct := map[string]int{}
+	det := obs.NewConflictDetector()
+	minTick, maxTick := events[0].Tick, events[0].Tick
+	for _, e := range events {
+		byCtl[e.Controller]++
+		byAct[e.Actuator]++
+		det.Emit(e)
+		if e.Tick < minTick {
+			minTick = e.Tick
+		}
+		if e.Tick > maxTick {
+			maxTick = e.Tick
+		}
+	}
+	fmt.Fprintf(w, "%d events, ticks %d..%d, %d conflicts\n",
+		len(events), minTick, maxTick, det.Count())
+	fmt.Fprintf(w, "%-12s %8s\n", "controller", "events")
+	for _, k := range sortedKeys(byCtl) {
+		fmt.Fprintf(w, "%-12s %8d\n", k, byCtl[k])
+	}
+	fmt.Fprintf(w, "%-12s %8s\n", "actuator", "events")
+	for _, k := range sortedKeys(byAct) {
+		fmt.Fprintf(w, "%-12s %8d\n", k, byAct[k])
+	}
+	for i, c := range det.Conflicts() {
+		if i == 10 {
+			fmt.Fprintf(w, "... %d more conflicts\n", det.Count()-10)
+			break
+		}
+		fmt.Fprintf(w, "conflict tick %d: %s then %s wrote %s/%d (%g -> %g)\n",
+			c.Tick, c.First, c.Second, c.Actuator, c.Target, c.FirstValue, c.SecondValue)
+	}
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage:
-  nptrace gen  -mix 180 -ticks 3000 -seed 42 [-o out.csv]
-  nptrace stat [-mix 180 -ticks 3000 -seed 42 | -in traces.csv]`)
+  nptrace gen    -mix 180 -ticks 3000 -seed 42 [-o out.csv]
+  nptrace stat   [-mix 180 -ticks 3000 -seed 42 | -in traces.csv]
+  nptrace events -in run.ndjson`)
 }

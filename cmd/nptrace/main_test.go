@@ -2,10 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"nopower/internal/obs"
 	"nopower/internal/trace"
 )
 
@@ -74,5 +76,46 @@ func TestGenUnknownMix(t *testing.T) {
 	}
 	if code := run([]string{"stat", "-in", "/nonexistent/file.csv"}, &out, &errOut); code != 1 {
 		t.Errorf("missing file exit %d", code)
+	}
+}
+
+func TestEventsSummaryAndTruncatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ndjson")
+	var buf bytes.Buffer
+	w := obs.NewNDJSONWriter(&buf)
+	// Two controllers fight over server 3's P-state at tick 0 — one conflict.
+	w.Emit(obs.Event{Tick: 0, Controller: "EC", Actuator: obs.ActPState, Target: 3, New: 1})
+	w.Emit(obs.Event{Tick: 0, Controller: "SM", Actuator: obs.ActPState, Target: 3, New: 2})
+	w.Emit(obs.Event{Tick: 1, Controller: "VMC", Actuator: obs.ActPlacement, Target: 7, New: 4})
+	// Simulate a writer killed mid-line: drop the tail of the last record.
+	data := buf.Bytes()
+	if err := os.WriteFile(path, data[:len(data)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"events", "-in", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "skipped 1 malformed line") {
+		t.Errorf("truncated-tail warning missing: %q", errOut.String())
+	}
+	for _, want := range []string{"2 events", "1 conflicts", "EC", "SM", "pstate",
+		"conflict tick 0: EC then SM wrote pstate/3"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Missing -in and an all-garbage file are hard errors.
+	if code := run([]string{"events"}, &out, &errOut); code != 2 {
+		t.Errorf("events without -in exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(bad, []byte("garbage\n{also broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"events", "-in", bad}, &out, &errOut); code != 1 {
+		t.Errorf("all-garbage file exit %d", code)
 	}
 }

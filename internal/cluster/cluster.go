@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"nopower/internal/model"
+	"nopower/internal/obs/prof"
 	"nopower/internal/trace"
 )
 
@@ -145,7 +146,21 @@ type Cluster struct {
 
 	stats      FleetStats
 	statsValid bool
+
+	// rec, when non-nil, receives phase spans for the plant's internal
+	// steps (demand-row fill, unit evaluation, tree reduction). Wired by
+	// the engine's observability setup; nil is the zero-overhead default
+	// (one pointer check per Advance).
+	rec prof.Recorder
 }
+
+// SetProfiler attaches (or, with nil, detaches) the phase recorder the
+// plant reports its per-tick internals to: prof.PhaseDemandRow around the
+// demand-row lookup, prof.PhaseAdvance around the unit evaluation, and
+// prof.PhaseReduce around the pairwise tree reduction. Timing never feeds
+// back into the simulation, so profiled and unprofiled runs are bitwise
+// identical.
+func (c *Cluster) SetProfiler(r prof.Recorder) { c.rec = r }
 
 // FleetStats is the immutable per-tick aggregate produced by Advance's single
 // pass over the fleet. The metrics collector, the engine's live gauges, and
@@ -592,9 +607,19 @@ func (c *Cluster) Advance(tick int) {
 func (c *Cluster) AdvanceWith(tick int, run func(n int, fn func(u int))) {
 	c.ensureUnits()
 	c.LastTick = tick
+	rec := c.rec
+	var t0 int64
+	if rec != nil {
+		t0 = rec.Now()
+	}
 	// Fill the demand row before dispatch: units then share it read-only, so
 	// the sharded path never races on the cache.
 	row := c.demandRow(tick)
+	var t1 int64
+	if rec != nil {
+		t1 = rec.Now()
+		rec.Record(tick, prof.PhaseDemandRow, -1, t0, t1-t0)
+	}
 	if run == nil {
 		for u := range c.units {
 			c.advanceUnit(tick, u, row)
@@ -602,7 +627,15 @@ func (c *Cluster) AdvanceWith(tick int, run func(n int, fn func(u int))) {
 	} else {
 		run(len(c.units), func(u int) { c.advanceUnit(tick, u, row) })
 	}
+	var t2 int64
+	if rec != nil {
+		t2 = rec.Now()
+		rec.Record(tick, prof.PhaseAdvance, -1, t1, t2-t1)
+	}
 	tot := reduceTree(c.partials)
+	if rec != nil {
+		rec.Record(tick, prof.PhaseReduce, -1, t2, rec.Now()-t2)
+	}
 	c.GroupPower = tot.power
 	c.DemandWork = tot.demand
 	c.DeliveredWork = tot.delivered

@@ -76,6 +76,10 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "EC" }
 
+// EpochPeriod implements the simulator's Epochal interface: the EC acts
+// every T_ec ticks.
+func (c *Controller) EpochPeriod() int { return c.Period }
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 

@@ -64,6 +64,10 @@ func New(mode Mode, pol policy.Division, period int) (*Controller, error) {
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "EM" }
 
+// EpochPeriod implements the simulator's Epochal interface: the EM acts
+// every T_em ticks.
+func (c *Controller) EpochPeriod() int { return c.Period }
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 

@@ -46,6 +46,10 @@ func New(slo float64, period int) (*Controller, error) {
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "PM" }
 
+// EpochPeriod implements the simulator's Epochal interface: the PM acts
+// on its control interval.
+func (c *Controller) EpochPeriod() int { return c.Period }
+
 // Tick samples every powered server's served fraction against the SLO. The
 // PM is a pure observer, so it reads through the fleet's read-only view.
 func (c *Controller) Tick(k int, cl *cluster.Cluster) {

@@ -34,6 +34,10 @@ func NewElectricalCapper(budget float64) (*ElectricalCapper, error) {
 // Name implements the simulator's Controller interface.
 func (e *ElectricalCapper) Name() string { return "CAP" }
 
+// EpochPeriod implements the simulator's Epochal interface: electrical
+// protection cannot wait out an epoch, so the capper acts every tick.
+func (e *ElectricalCapper) EpochPeriod() int { return 1 }
+
 // State implements the simulator's Snapshotter interface. The capper is
 // pure feed-forward — its budget is configuration — so the state is empty.
 func (e *ElectricalCapper) State() ([]byte, error) { return nil, nil }

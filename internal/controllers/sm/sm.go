@@ -101,6 +101,10 @@ func New(cl *cluster.Cluster, ecIface RRefSetter, mode Mode, beta float64, perio
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "SM" }
 
+// EpochPeriod implements the simulator's Epochal interface: the SM acts
+// every T_sm ticks.
+func (c *Controller) EpochPeriod() int { return c.Period }
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 

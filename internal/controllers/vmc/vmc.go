@@ -165,6 +165,11 @@ func (c *Controller) PerfBuffer() float64 { return c.bPerf }
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "VMC" }
 
+// EpochPeriod implements the simulator's Epochal interface. The VMC does
+// work every SamplePeriod ticks (the demand estimator), not just on the
+// consolidation epochs, so that is the tick set its profiling spans cover.
+func (c *Controller) EpochPeriod() int { return c.cfg.SamplePeriod }
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 

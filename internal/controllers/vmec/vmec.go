@@ -65,6 +65,10 @@ func New(cl *cluster.Cluster, lambda, rRef float64, period int) (*Controller, er
 // Name implements the simulator's Controller interface.
 func (c *Controller) Name() string { return "VMEC" }
 
+// EpochPeriod implements the simulator's Epochal interface: the VMEC acts
+// every T_ec ticks.
+func (c *Controller) EpochPeriod() int { return c.Period }
+
 // SetTracer attaches an observability tracer; nil disables tracing.
 func (c *Controller) SetTracer(t obs.Tracer) { c.tracer = t }
 

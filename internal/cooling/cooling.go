@@ -123,6 +123,10 @@ func NewManager(crac *CRAC, tm thermal.Model, period int, coordinated bool) (*Ma
 // Name implements the simulator's Controller interface.
 func (m *Manager) Name() string { return "COOL" }
 
+// EpochPeriod implements the simulator's Epochal interface: the cooling
+// manager acts on its zone-control interval.
+func (m *Manager) EpochPeriod() int { return m.Period }
+
 // Tick steps every server's temperature each tick (ambient = setpoint) and,
 // on zone epochs, re-optimizes the setpoint and the exported budget.
 func (m *Manager) Tick(k int, cl *cluster.Cluster) {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"nopower/internal/obs/prof"
 	"nopower/internal/report"
 	"nopower/internal/runner"
 )
@@ -70,6 +71,24 @@ func SetDefaultShards(n int) { defaultShards.Store(int64(n)) }
 
 // DefaultShards reports the process-wide default per-tick shard count.
 func DefaultShards() int { return int(defaultShards.Load()) }
+
+// defaultProfiler is the process-wide fallback for Observers.Prof, set by
+// the CLIs' -timeline flag. It reaches the engines that experiments build
+// internally (baselines, chaos runs, batch jobs), which the explicit
+// Observers path cannot. The profiler's span ring is mutex-guarded, so
+// parallel experiment jobs share it safely; their spans interleave in the
+// exported timeline, distinguishable by tick and lane.
+var defaultProfiler atomic.Pointer[prof.Profiler]
+
+// SetDefaultProfiler sets the process-wide default span profiler attached
+// to every engine whose run leaves Observers.Prof nil. Pass nil to detach.
+// Profiling is a pure observation knob — results are bitwise identical
+// with or without it.
+func SetDefaultProfiler(p *prof.Profiler) { defaultProfiler.Store(p) }
+
+// DefaultProfiler reports the process-wide default span profiler (nil when
+// unset).
+func DefaultProfiler() *prof.Profiler { return defaultProfiler.Load() }
 
 // WithOptions overlays a whole Options struct — the bridge for callers
 // migrating from the positional form.

@@ -15,6 +15,7 @@ import (
 	"nopower/internal/metrics"
 	"nopower/internal/model"
 	"nopower/internal/obs"
+	"nopower/internal/obs/prof"
 	"nopower/internal/sim"
 	"nopower/internal/trace"
 	"nopower/internal/tracegen"
@@ -237,6 +238,13 @@ type Observers struct {
 	// Metrics streams live runtime telemetry (controller latencies, budget
 	// violations, group power) into a registry, e.g. for a /metrics endpoint.
 	Metrics *obs.Registry
+	// Prof records per-tick phase spans (plant advance, reduction, each
+	// controller law, checkpoints) into a preallocated ring for timeline
+	// export (`npsim -timeline`). Nil leaves the engine's profiling hooks
+	// compiled out to a pointer check; when nil, the process-wide default
+	// set by SetDefaultProfiler (the -timeline CLI flag) applies. Profiling
+	// never changes results — profiled runs are bitwise identical.
+	Prof *prof.Profiler
 	// FaultPolicy selects the engine's reaction to a controller panic (the
 	// zero value is sim.FaultFail: recover and fail the run). It rides in
 	// this bundle because, like the attachments, it is a per-run engine knob
@@ -264,6 +272,10 @@ func (o Observers) attach(eng *sim.Engine, totalTicks int) (int, error) {
 	}
 	eng.Tracer = o.Tracer
 	eng.Metrics = o.Metrics
+	eng.Prof = o.Prof
+	if eng.Prof == nil {
+		eng.Prof = DefaultProfiler()
+	}
 	eng.FaultPolicy = o.FaultPolicy
 	if o.Checkpoint != nil {
 		if err := o.Checkpoint.Attach(eng); err != nil {
@@ -346,6 +358,7 @@ func BaselinePower(ctx context.Context, sc Scenario) (float64, error) {
 	if eng.Shards == 0 {
 		eng.Shards = DefaultShards()
 	}
+	eng.Prof = DefaultProfiler()
 	col, err := eng.RunContext(ctx, sc.Ticks)
 	if err != nil {
 		return 0, err

@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -71,6 +73,109 @@ func TestServeBindsAndCloses(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr.String() + "/healthz"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestMetricsScrapeDuringRegistration hammers the registry with new series
+// from several goroutines while /metrics is being scraped — the shape of a
+// live engine run with a Prometheus scraper attached. Run under `make race`,
+// this is the registry's concurrency contract; here it also checks every
+// scrape returns a parseable snapshot (status 200, no torn writes that
+// break the TYPE-then-samples structure).
+func TestMetricsScrapeDuringRegistration(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				series := SeriesName("np_scrape_test_total", "worker", fmt.Sprint(w), "i", fmt.Sprint(i%32))
+				reg.Counter(series).Inc()
+				reg.Gauge(SeriesName("np_scrape_test_gauge", "worker", fmt.Sprint(w))).Set(float64(i))
+				reg.Histogram("np_scrape_test_seconds").Observe(float64(i%10) / 1000)
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, resp.StatusCode)
+		}
+		// Every non-comment line must be "name value": a torn snapshot or a
+		// malformed series name would break the two-field shape.
+		for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if f := strings.Fields(line); len(f) != 2 {
+				t.Fatalf("scrape %d: malformed exposition line %q", i, line)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestHealthzIndependentOfRegistryState pins /healthz's contract: it is a
+// liveness probe, so it must answer "ok" on a mux over a completely empty
+// registry (before any engine wires metrics) and stay "ok" — unchanged —
+// after an engine-shaped set of series appears.
+func TestHealthzIndependentOfRegistryState(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(NewMux(reg))
+	defer srv.Close()
+
+	check := func(stage string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+			t.Fatalf("%s engine wiring: /healthz = %d %q", stage, resp.StatusCode, body)
+		}
+	}
+	check("before")
+	// Simulate the engine wiring its run telemetry.
+	reg.Counter("np_sim_ticks_total").Inc()
+	reg.Histogram(SeriesName("np_controller_tick_seconds", "controller", "EC")).Observe(0.001)
+	check("after")
+
+	// And the new series are scrapeable.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "np_sim_ticks_total 1") {
+		t.Errorf("/metrics missing engine series after wiring:\n%s", body)
 	}
 }
 

@@ -1,0 +1,233 @@
+// The perf flight recorder: a schema-versioned JSON artifact capturing one
+// `go test -bench` run — ns/op, allocs/op, and the custom metrics the
+// profiled benchmarks report (phase breakdown, shard imbalance) — plus a
+// host fingerprint, so a perf trajectory accumulates as comparable files
+// (`make bench-json` → bench/BENCH_<stamp>.json) instead of prose. The
+// npprof CLI pretty-prints one artifact and Compare gates two against a
+// regression threshold (`make verify` smoke).
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchSchema is the artifact schema version. Bump on incompatible changes;
+// ReadArtifact rejects files from a different major scheme.
+const BenchSchema = 1
+
+// Host fingerprints the machine an artifact was recorded on. Numbers are
+// only comparable within a fingerprint; Compare warns when they differ.
+type Host struct {
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+	Hostname  string `json:"hostname"`
+}
+
+// Benchmark is one parsed benchmark result. Metrics maps unit → value
+// exactly as `go test -bench` printed them ("ns/op", "B/op", "allocs/op",
+// plus any b.ReportMetric custom units like "imbalance").
+type Benchmark struct {
+	// Name is the benchmark path with the trailing -GOMAXPROCS suffix
+	// stripped, so artifacts from hosts with different core counts still
+	// join on name.
+	Name string `json:"name"`
+	// Iters is the measured iteration count.
+	Iters int64 `json:"iters"`
+	// Metrics holds every value/unit pair of the result line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Artifact is one flight-recorder file.
+type Artifact struct {
+	// Schema is BenchSchema at write time.
+	Schema int `json:"schema"`
+	// CreatedUnix is the recording time (Unix seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// Note is a free-form label (`npprof record -note`).
+	Note string `json:"note,omitempty"`
+	// Host fingerprints the recording machine.
+	Host Host `json:"host"`
+	// Benchmarks lists the parsed results in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line:
+// "BenchmarkX/sub-8   	  12	 9876 ns/op	 12 B/op	 3 allocs/op	 1.05 imbalance".
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix is the trailing "-N" the testing package appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseGoBench parses `go test -bench` output into benchmark results,
+// ignoring non-benchmark lines (the PASS/ok trailer, test log noise). An
+// input with no benchmark lines is an error — a silently empty artifact
+// would read as "no regressions" forever.
+func ParseGoBench(r io.Reader) ([]Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Benchmark
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 || len(fields) == 0 {
+			continue
+		}
+		metrics := make(map[string]float64, len(fields)/2)
+		ok := true
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Benchmark{
+			Name:    gomaxprocsSuffix.ReplaceAllString(m[1], ""),
+			Iters:   iters,
+			Metrics: metrics,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("prof: no benchmark result lines in input")
+	}
+	return out, nil
+}
+
+// NewArtifact assembles an artifact around parsed benchmarks, stamping the
+// schema, the clock, and the host fingerprint.
+func NewArtifact(note string, benches []Benchmark) Artifact {
+	hostname, _ := os.Hostname()
+	return Artifact{
+		Schema:      BenchSchema,
+		CreatedUnix: time.Now().Unix(),
+		Note:        note,
+		Host: Host{
+			OS: runtime.GOOS, Arch: runtime.GOARCH, CPUs: runtime.NumCPU(),
+			GoVersion: runtime.Version(), Hostname: hostname,
+		},
+		Benchmarks: benches,
+	}
+}
+
+// WriteArtifact writes the artifact as indented JSON.
+func WriteArtifact(w io.Writer, a Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact reads and validates one artifact file.
+func ReadArtifact(path string) (Artifact, error) {
+	var a Artifact
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return a, fmt.Errorf("prof: %w", err)
+	}
+	if err := json.Unmarshal(data, &a); err != nil {
+		return a, fmt.Errorf("prof: %s: %w", path, err)
+	}
+	if a.Schema != BenchSchema {
+		return a, fmt.Errorf("prof: %s: schema %d, this build reads %d", path, a.Schema, BenchSchema)
+	}
+	if len(a.Benchmarks) == 0 {
+		return a, fmt.Errorf("prof: %s: no benchmarks", path)
+	}
+	return a, nil
+}
+
+// Delta compares one metric of one benchmark across two artifacts.
+type Delta struct {
+	// Name and Metric identify the compared series.
+	Name   string
+	Metric string
+	// Old and New are the two values; Ratio is New/Old.
+	Old, New, Ratio float64
+	// Gating marks the metric the regression threshold applies to
+	// ("ns/op"); other shared metrics are informational.
+	Gating bool
+	// Regressed is set when a gating metric exceeded the threshold.
+	Regressed bool
+}
+
+// GatingMetric is the metric Compare's threshold applies to.
+const GatingMetric = "ns/op"
+
+// Compare joins two artifacts on benchmark name and returns one Delta per
+// shared (benchmark, metric) pair, gating ns/op against maxRegress: head >
+// base*(1+maxRegress) marks the delta regressed. Benchmarks present in only
+// one artifact are skipped (their names are returned for reporting); no
+// shared benchmark at all is an error, so a renamed suite cannot silently
+// pass the gate.
+func Compare(base, head Artifact, maxRegress float64) (deltas []Delta, onlyBase, onlyHead []string, err error) {
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(head.Benchmarks))
+	for _, nb := range head.Benchmarks {
+		ob, ok := baseBy[nb.Name]
+		if !ok {
+			onlyHead = append(onlyHead, nb.Name)
+			continue
+		}
+		seen[nb.Name] = true
+		metrics := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			if _, ok := ob.Metrics[unit]; ok {
+				metrics = append(metrics, unit)
+			}
+		}
+		sort.Strings(metrics)
+		for _, unit := range metrics {
+			d := Delta{
+				Name: nb.Name, Metric: unit,
+				Old: ob.Metrics[unit], New: nb.Metrics[unit],
+				Gating: unit == GatingMetric,
+			}
+			if d.Old != 0 {
+				d.Ratio = d.New / d.Old
+			}
+			if d.Gating && d.Old > 0 && d.New > d.Old*(1+maxRegress) {
+				d.Regressed = true
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	for _, ob := range base.Benchmarks {
+		if !seen[ob.Name] {
+			onlyBase = append(onlyBase, ob.Name)
+		}
+	}
+	sort.Strings(onlyBase)
+	if len(deltas) == 0 {
+		return nil, onlyBase, onlyHead, fmt.Errorf("prof: no shared benchmarks between artifacts")
+	}
+	return deltas, onlyBase, onlyHead, nil
+}

@@ -1,0 +1,108 @@
+// Chrome trace-event export: the profiler's spans rendered in the JSON
+// format chrome://tracing and Perfetto (ui.perfetto.dev) load natively.
+// Spans become complete events ("ph":"X") on one lane per shard; counter
+// samples become counter tracks ("ph":"C"). Timestamps are microseconds
+// since the profiler's epoch, per the format.
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one trace event. Only the fields the viewers require are
+// emitted; Args carries the simulation tick so a span can be correlated
+// with series CSVs and actuation traces.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON-object form of the format (the array
+// form is also legal, but the object form carries display metadata).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromePID is the single process every event is filed under.
+const chromePID = 1
+
+// lane maps a span's shard to a Chrome thread id: the engine lane (shard
+// -1) is tid 0, worker s is tid s+1.
+func lane(shard int) int {
+	if shard < 0 {
+		return 0
+	}
+	return shard + 1
+}
+
+// phaseCat derives the event category from the phase's "area." prefix, so
+// viewers can filter by sim/plant/ctl.
+func phaseCat(phase string) string {
+	for i := 0; i < len(phase); i++ {
+		if phase[i] == '.' {
+			return phase[:i]
+		}
+	}
+	return phase
+}
+
+// WriteChromeTrace renders the retained spans and counter samples as Chrome
+// trace-event JSON. The output loads in Perfetto / chrome://tracing; see
+// DESIGN.md §13 for the walkthrough.
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	spans := p.Spans()
+	counters := p.Counters()
+
+	events := make([]chromeEvent, 0, len(spans)+len(counters)+8)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: chromePID, TID: 0,
+		Args: map[string]any{"name": "nopower tick engine"},
+	})
+	lanes := map[int]bool{}
+	for _, s := range spans {
+		lanes[lane(s.Shard)] = true
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for id := range lanes {
+		laneIDs = append(laneIDs, id)
+	}
+	sort.Ints(laneIDs)
+	for _, id := range laneIDs {
+		name := "engine"
+		if id > 0 {
+			name = "shard " + strconv.Itoa(id-1)
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: chromePID, TID: id,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Phase, Cat: phaseCat(s.Phase), Ph: "X",
+			TS: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
+			PID: chromePID, TID: lane(s.Shard),
+			Args: map[string]any{"tick": s.Tick},
+		})
+	}
+	for _, c := range counters {
+		events = append(events, chromeEvent{
+			Name: c.Name, Cat: "counter", Ph: "C",
+			TS: float64(c.TS) / 1e3, PID: chromePID, TID: 0,
+			Args: map[string]any{"value": c.Value},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -161,6 +161,43 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	r.getOrCreate(name, func() any { return funcMetric{kind: "gauge", fn: fn} })
 }
 
+// labelEscaper escapes a label value for the Prometheus text exposition
+// format: inside the double quotes, backslash, double-quote, and newline
+// must be written as \\, \", and \n.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes one label value for the text exposition format.
+func EscapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// SeriesName builds a full series name from a base and key/value label
+// pairs, escaping each value: SeriesName("x", "a", `b"c`) → x{a="b\"c"}.
+// Every in-line label a caller does not fully control (controller names,
+// phases, file paths) should be built through here rather than Sprintf, so
+// a hostile or merely unusual value cannot corrupt the exposition. An odd
+// pair count panics — that is a compile-site mistake, not an input error.
+func SeriesName(base string, kv ...string) string {
+	if len(kv)%2 != 0 {
+		panic("obs: SeriesName: odd key/value count")
+	}
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabel(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // baseName strips an in-line label set: `x{a="b"}` → `x`.
 func baseName(series string) string {
 	if i := strings.IndexByte(series, '{'); i >= 0 {
@@ -175,7 +212,7 @@ func baseName(series string) string {
 func withLabel(series, suffix, key, val string) string {
 	base := baseName(series)
 	labels := strings.TrimPrefix(series, base) // "" or "{...}"
-	extra := key + `="` + val + `"`
+	extra := key + `="` + EscapeLabel(val) + `"`
 	if labels == "" {
 		return base + suffix + "{" + extra + "}"
 	}

@@ -184,3 +184,60 @@ func TestRegistryConcurrentAccess(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEscapeLabelAndSeriesName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`back\slash`, `back\\slash`},
+		{`dou"ble`, `dou\"ble`},
+		{"new\nline", `new\nline`},
+		{"all\\\"\n", `all\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabel(c.in); got != c.want {
+			t.Errorf("EscapeLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := SeriesName("x"); got != "x" {
+		t.Errorf("SeriesName with no labels = %q", got)
+	}
+	got := SeriesName("x", "a", `b"c`, "d", "e")
+	if want := `x{a="b\"c",d="e"}`; got != want {
+		t.Errorf("SeriesName = %q, want %q", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd key/value count should panic")
+		}
+	}()
+	SeriesName("x", "lonely")
+}
+
+// TestExpositionEscapesLabelValues pins the full path: a hostile label value
+// routed through SeriesName must come out of WritePrometheus escaped, one
+// series per line, still in the two-field "name value" shape.
+func TestExpositionEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(SeriesName("np_evil_total", "controller", "bad\"name\nwith\\stuff")).Inc()
+	r.Histogram(SeriesName("np_evil_seconds", "controller", `q"uote`)).Observe(0.01)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `np_evil_total{controller="bad\"name\nwith\\stuff"} 1`) {
+		t.Errorf("counter label not escaped:\n%s", out)
+	}
+	// Histogram parts must carry the escaped label through withLabel too.
+	if !strings.Contains(out, `np_evil_seconds_bucket{controller="q\"uote",le="+Inf"} 1`) {
+		t.Errorf("histogram bucket label not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}

@@ -12,8 +12,11 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"strings"
 	"sync"
 )
 
@@ -152,14 +155,26 @@ func (r *RingRecorder) Dropped() int64 {
 	return r.dropped
 }
 
+// RegisterMetrics publishes the recorder's loss telemetry on reg as
+// np_obs_trace_dropped_total{sink="ring"} — silent trace loss turned into a
+// scrapeable signal. A nil reg registers on Default.
+func (r *RingRecorder) RegisterMetrics(reg *Registry) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.CounterFunc(SeriesName("np_obs_trace_dropped_total", "sink", "ring"),
+		func() float64 { return float64(r.Dropped()) })
+}
+
 // NDJSONWriter streams events as newline-delimited JSON, one object per
 // line — the on-disk trace format (`npsim -trace out.ndjson`). The first
 // write error is retained and later events are dropped.
 type NDJSONWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	n   int64
-	err error
+	mu      sync.Mutex
+	enc     *json.Encoder
+	n       int64
+	dropped int64
+	err     error
 }
 
 // NewNDJSONWriter wraps a writer.
@@ -172,10 +187,12 @@ func (w *NDJSONWriter) Emit(e Event) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.err != nil {
+		w.dropped++
 		return
 	}
 	if err := w.enc.Encode(e); err != nil {
 		w.err = err
+		w.dropped++
 		return
 	}
 	w.n++
@@ -188,11 +205,60 @@ func (w *NDJSONWriter) Count() int64 {
 	return w.n
 }
 
+// Dropped reports how many events were lost to write errors: the event
+// that surfaced the first error plus every event arriving after it.
+func (w *NDJSONWriter) Dropped() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
 // Err returns the first write error, if any.
 func (w *NDJSONWriter) Err() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.err
+}
+
+// RegisterMetrics publishes the writer's loss telemetry on reg as
+// np_obs_trace_dropped_total{sink="ndjson"} (events lost to write errors)
+// and np_obs_trace_written_total{sink="ndjson"}. A nil reg registers on
+// Default.
+func (w *NDJSONWriter) RegisterMetrics(reg *Registry) {
+	if reg == nil {
+		reg = Default
+	}
+	reg.CounterFunc(SeriesName("np_obs_trace_dropped_total", "sink", "ndjson"),
+		func() float64 { return float64(w.Dropped()) })
+	reg.CounterFunc(SeriesName("np_obs_trace_written_total", "sink", "ndjson"),
+		func() float64 { return float64(w.Count()) })
+}
+
+// ReadEvents parses an NDJSON event stream (the NDJSONWriter format),
+// tolerating malformed lines: a line that is not a complete JSON event —
+// typically the truncated tail of a trace whose writer was killed mid-line —
+// is skipped and counted in bad rather than failing the whole read. Only a
+// transport-level read failure returns an error. Blank lines are ignored
+// silently.
+func ReadEvents(r io.Reader) (events []Event, bad int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Event
+		if json.Unmarshal([]byte(line), &e) != nil {
+			bad++
+			continue
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return events, bad, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return events, bad, nil
 }
 
 // Conflict records a power struggle: within one tick, two distinct

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 )
@@ -127,5 +129,91 @@ func TestMulti(t *testing.T) {
 	m.Emit(ev(0, "EC", ActPState, 0, 0, 1))
 	if a.Len() != 1 || b.Len() != 1 {
 		t.Errorf("fan-out missed: a=%d b=%d", a.Len(), b.Len())
+	}
+}
+
+func TestNDJSONWriterDropped(t *testing.T) {
+	w := NewNDJSONWriter(failAfter(2))
+	for i := 0; i < 5; i++ {
+		w.Emit(ev(i, "EC", ActPState, 0, 0, 1))
+	}
+	if w.Count() != 2 {
+		t.Errorf("Count = %d, want 2", w.Count())
+	}
+	if w.Err() == nil {
+		t.Error("Err should surface the write failure")
+	}
+	if w.Dropped() != 3 {
+		t.Errorf("Dropped = %d, want 3", w.Dropped())
+	}
+}
+
+func TestTraceRegisterMetrics(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRingRecorder(2)
+	ring.RegisterMetrics(reg)
+	w := NewNDJSONWriter(failAfter(1))
+	w.RegisterMetrics(reg)
+	for i := 0; i < 3; i++ {
+		e := ev(i, "EC", ActPState, 0, 0, 1)
+		ring.Emit(e)
+		w.Emit(e)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`np_obs_trace_dropped_total{sink="ring"} 1`,
+		`np_obs_trace_dropped_total{sink="ndjson"} 2`,
+		`np_obs_trace_written_total{sink="ndjson"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// failAfter returns a writer that accepts n writes then errors forever.
+func failAfter(n int) io.Writer {
+	return &quotaWriter{left: n}
+}
+
+type quotaWriter struct{ left int }
+
+func (q *quotaWriter) Write(p []byte) (int, error) {
+	if q.left == 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	q.left--
+	return len(p), nil
+}
+
+func TestReadEventsTolerant(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewNDJSONWriter(&buf)
+	for i := 0; i < 3; i++ {
+		w.Emit(ev(i, "SM", ActRRef, i, 0, 0.5))
+	}
+	// A crash mid-line leaves a truncated JSON tail; a stray non-JSON line
+	// can come from log interleaving. Both must be skipped, not fatal.
+	full := buf.String()
+	input := full + "not json at all\n" + full[:len(full)/2]
+	events, bad, err := ReadEvents(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail fragment contains one complete line plus a truncated one.
+	if len(events) < 4 || bad < 2 {
+		t.Fatalf("events=%d bad=%d, want >=4 events and >=2 bad lines", len(events), bad)
+	}
+	if events[0].Controller != "SM" || events[0].Actuator != ActRRef {
+		t.Errorf("first event = %+v", events[0])
+	}
+	// Blank lines are not "bad".
+	ev2, bad2, err := ReadEvents(strings.NewReader("\n\n" + full + "\n"))
+	if err != nil || bad2 != 0 || len(ev2) != 3 {
+		t.Fatalf("blank-line read: events=%d bad=%d err=%v", len(ev2), bad2, err)
 	}
 }

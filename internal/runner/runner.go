@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nopower/internal/obs"
 )
@@ -23,9 +24,22 @@ import (
 var (
 	jobCount    atomic.Int64 // jobs started
 	jobsDone    atomic.Int64 // jobs returned (success or error)
+	jobNanos    atomic.Int64 // summed job wall time (busy-time, not span)
 	cacheHits   atomic.Int64 // Cache.Get found an entry (settled or in-flight)
 	cacheMisses atomic.Int64 // Cache.Get ran the computation
 )
+
+// runJob executes one pool job, accounting its wall time into the
+// process-wide busy-time counter. The per-job clock reads are noise next
+// to a whole-simulation job and never feed back into results.
+func runJob(ctx context.Context, i int, fn func(ctx context.Context, i int) error) error {
+	jobCount.Add(1)
+	start := time.Now()
+	err := fn(ctx, i)
+	jobNanos.Add(int64(time.Since(start)))
+	jobsDone.Add(1)
+	return err
+}
 
 // JobCount reports the total number of jobs executed by all pools in this
 // process so far.
@@ -40,6 +54,9 @@ type PoolStats struct {
 	// CacheHits and CacheMisses count Cache.Get lookups across every Cache
 	// in the process. A hit includes joining an in-flight computation.
 	CacheHits, CacheMisses int64
+	// BusySeconds is the summed wall time of every finished job — divided
+	// by the batch wall clock it is the pool's effective parallelism.
+	BusySeconds float64
 }
 
 // Stats snapshots the process-wide pool and cache counters. The fields are
@@ -57,6 +74,7 @@ func Stats() PoolStats {
 		InFlight:    inFlight,
 		CacheHits:   cacheHits.Load(),
 		CacheMisses: cacheMisses.Load(),
+		BusySeconds: time.Duration(jobNanos.Load()).Seconds(),
 	}
 }
 
@@ -76,6 +94,9 @@ func RegisterMetrics(reg *obs.Registry) {
 	})
 	reg.CounterFunc("np_runner_cache_hits_total", asFloat(&cacheHits))
 	reg.CounterFunc("np_runner_cache_misses_total", asFloat(&cacheMisses))
+	reg.CounterFunc("np_runner_job_seconds_total", func() float64 {
+		return time.Duration(jobNanos.Load()).Seconds()
+	})
 }
 
 // Parallelism resolves a requested worker count: values < 1 select
@@ -109,9 +130,7 @@ func ForEach(ctx context.Context, parallelism, n int, fn func(ctx context.Contex
 				errs[i] = err
 				break
 			}
-			jobCount.Add(1)
-			errs[i] = fn(ctx, i)
-			jobsDone.Add(1)
+			errs[i] = runJob(ctx, i, fn)
 		}
 		return errors.Join(errs...)
 	}
@@ -133,9 +152,7 @@ func ForEach(ctx context.Context, parallelism, n int, fn func(ctx context.Contex
 					errs[i] = err
 					return
 				}
-				jobCount.Add(1)
-				errs[i] = fn(ctx, i)
-				jobsDone.Add(1)
+				errs[i] = runJob(ctx, i, fn)
 			}
 		}()
 	}

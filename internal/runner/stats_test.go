@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"nopower/internal/obs"
 )
@@ -14,7 +15,10 @@ import (
 func TestStatsCountsJobsAndCache(t *testing.T) {
 	before := Stats()
 
-	if err := ForEach(context.Background(), 4, 9, func(context.Context, int) error { return nil }); err != nil {
+	if err := ForEach(context.Background(), 4, 9, func(context.Context, int) error {
+		time.Sleep(time.Millisecond)
+		return nil
+	}); err != nil {
 		t.Fatal(err)
 	}
 	var c Cache[int, int]
@@ -40,6 +44,10 @@ func TestStatsCountsJobsAndCache(t *testing.T) {
 	if got := after.CacheHits - before.CacheHits; got != 4 {
 		t.Errorf("cache hits delta = %d, want 4", got)
 	}
+	// 9 jobs of >= 1ms each must accumulate busy time.
+	if got := after.BusySeconds - before.BusySeconds; got < 0.009 {
+		t.Errorf("busy seconds delta = %v, want >= 9ms", got)
+	}
 }
 
 // TestRegisterMetrics checks the pool counters surface in a registry's
@@ -61,6 +69,7 @@ func TestRegisterMetrics(t *testing.T) {
 		"np_runner_jobs_inflight",
 		"np_runner_cache_hits_total",
 		"np_runner_cache_misses_total",
+		"np_runner_job_seconds_total",
 	} {
 		if !strings.Contains(out, name+" ") {
 			t.Errorf("exposition missing %s:\n%s", name, out)

@@ -107,6 +107,15 @@ func (e *Engine) Disabled() []string {
 func (e *Engine) tickOne(ci, k int) (perr *ControllerPanicError) {
 	c := e.Controllers[ci]
 	if stc, ok := c.(ShardTicker); ok && e.Shards > 1 && e.Tracer == nil {
+		if e.profRec != nil {
+			// Tag the dispatch so runUnits records ctl.<Name>.shard worker
+			// spans — but only on the controller's epoch ticks; an empty
+			// phase tells runUnits not to measure the idle pass.
+			e.profPhase = ""
+			if k%e.ctlProf[ci].period == 0 {
+				e.profTick, e.profPhase = k, e.ctlProf[ci].shardPhase
+			}
+		}
 		return e.tickShards(stc, k)
 	}
 	if e.FaultPolicy != FaultPropagate {
@@ -192,7 +201,7 @@ func (e *Engine) recordPanic(perr *ControllerPanicError) {
 		})
 	}
 	if e.Metrics != nil {
-		e.Metrics.Counter(fmt.Sprintf("np_sim_controller_panics_total{controller=%q}", perr.Controller)).Inc()
+		e.Metrics.Counter(obs.SeriesName("np_sim_controller_panics_total", "controller", perr.Controller)).Inc()
 	}
 }
 
@@ -211,7 +220,7 @@ func (e *Engine) disable(ci, k int) {
 		})
 	}
 	if e.Metrics != nil {
-		e.Metrics.Counter(fmt.Sprintf(`np_sim_controller_disabled_total{controller=%q}`, name)).Inc()
+		e.Metrics.Counter(obs.SeriesName("np_sim_controller_disabled_total", "controller", name)).Inc()
 		e.Metrics.Gauge("np_sim_controllers_disabled").Set(float64(len(e.Disabled())))
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	rtmetrics "runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/metrics"
 	"nopower/internal/obs"
+	"nopower/internal/obs/prof"
 )
 
 // Controller is anything that can act on the cluster at a tick. Individual
@@ -76,6 +78,20 @@ type Engine struct {
 	// power, servers-on, and budget-violation counters — the signals the
 	// Collector only reports at Finalize, available mid-run on /metrics.
 	Metrics *obs.Registry
+	// Prof, if set before the first Run, records a per-phase timeline of
+	// every tick into a preallocated span ring: one sim.tick span per tick,
+	// ctl.<Name> spans on each controller's epoch ticks, the plant's
+	// demand-row/advance/reduce internals, per-worker shard spans, observer
+	// fan-out, and checkpoint saves — exportable as a Chrome trace
+	// (npsim -timeline). When Metrics is also set, every span mirrors into
+	// np_sim_phase_seconds{phase=...} histograms, the plant advance
+	// publishes per-worker np_sim_shard_seconds gauges plus the
+	// np_sim_shard_imbalance ratio, and per-tick GC/allocation deltas feed
+	// np_sim_gc_cycles_total / np_sim_heap_alloc_bytes_total. Timing never
+	// feeds back into the simulation, so profiled runs are bitwise
+	// identical to unprofiled ones. Nil disables profiling entirely (the
+	// zero-overhead default: one pointer check per site).
+	Prof *prof.Profiler
 	// FaultPolicy selects what happens when a controller panics mid-tick:
 	// fail the run with a *ControllerPanicError (FaultFail, the default),
 	// disable the controller and continue in degraded mode (FaultDegrade),
@@ -104,6 +120,7 @@ type Engine struct {
 	wiredCtls      []Controller
 	wiredMetrics   *obs.Registry
 	wiredTracer    bool
+	wiredProf      *prof.Profiler
 	runFn          func(n int, fn func(u int))
 	ctl            []ctlInstr
 	disabled       []bool // controllers knocked out by FaultDegrade
@@ -114,6 +131,26 @@ type Engine struct {
 	mViolSM        *obs.Counter
 	mViolEM        *obs.Counter
 	mViolGM        *obs.Counter
+
+	// Profiling state (prof.go). profRec is non-nil exactly when Prof is
+	// wired. profTick/profPhase parameterize the next runUnits dispatch's
+	// worker spans; both are written before goroutines are spawned, so the
+	// workers read them race-free. shardBusy holds per-worker busy time of
+	// the latest measured dispatch (one slot per worker, joined before it
+	// is read).
+	profRec      *teeRecorder
+	ctlProf      []ctlProf
+	profTick     int
+	profPhase    string
+	shardBusy    []int64
+	shardWorkers int
+	mShard       []*obs.Gauge
+	mImbalance   *obs.Gauge
+	mGCCycles    *obs.Counter
+	mAllocBytes  *obs.Counter
+	rmSamples    []rtmetrics.Sample
+	gcPrev       uint64
+	allocPrev    uint64
 }
 
 // auxEntry is one auxiliary Snapshotter registered via RegisterAux.
@@ -154,6 +191,7 @@ func (e *Engine) wireObservability() {
 	if e.runFn == nil {
 		e.runFn = e.runUnits
 	}
+	e.wireProfiling()
 	if e.Tracer != nil {
 		for _, c := range e.Controllers {
 			if tc, ok := c.(Traceable); ok {
@@ -168,8 +206,8 @@ func (e *Engine) wireObservability() {
 	e.ctl = make([]ctlInstr, len(e.Controllers))
 	for i, c := range e.Controllers {
 		e.ctl[i] = ctlInstr{
-			ticks:   e.Metrics.Counter(fmt.Sprintf("np_controller_ticks_total{controller=%q}", c.Name())),
-			seconds: e.Metrics.Histogram(fmt.Sprintf("np_controller_tick_seconds{controller=%q}", c.Name())),
+			ticks:   e.Metrics.Counter(obs.SeriesName("np_controller_ticks_total", "controller", c.Name())),
+			seconds: e.Metrics.Histogram(obs.SeriesName("np_controller_tick_seconds", "controller", c.Name())),
 		}
 	}
 	e.mTicks = e.Metrics.Counter("np_sim_ticks_total")
@@ -185,7 +223,8 @@ func (e *Engine) wireObservability() {
 // tracers only by nil-ness (a tracer's dynamic type — e.g. a multi-tracer
 // slice — need not be comparable).
 func (e *Engine) obsCurrent() bool {
-	if !e.obsWired || e.wiredMetrics != e.Metrics || e.wiredTracer != (e.Tracer != nil) {
+	if !e.obsWired || e.wiredMetrics != e.Metrics || e.wiredTracer != (e.Tracer != nil) ||
+		e.wiredProf != e.Prof {
 		return false
 	}
 	if len(e.wiredCtls) != len(e.Controllers) {
@@ -238,31 +277,69 @@ func (e *Engine) runUnits(n int, fn func(u int)) {
 	if workers > n {
 		workers = n
 	}
+	// Worker spans are recorded only for dispatches the caller tagged with a
+	// phase (the plant advance every tick, a ShardTicker on its epoch ticks)
+	// — profTick/profPhase are written before the goroutines spawn, so the
+	// workers read them race-free.
+	rec := e.profRec
+	if rec != nil && e.profPhase == "" {
+		rec = nil
+	}
 	if workers <= 1 {
+		if rec == nil {
+			for u := 0; u < n; u++ {
+				fn(u)
+			}
+			return
+		}
+		start := rec.Now()
 		for u := 0; u < n; u++ {
 			fn(u)
 		}
+		dur := rec.Now() - start
+		if len(e.shardBusy) < 1 {
+			e.shardBusy = make([]int64, 1)
+		}
+		e.shardBusy[0] = dur
+		e.shardWorkers = 1
+		rec.Record(e.profTick, e.profPhase, 0, start, dur)
 		return
 	}
+	if rec != nil {
+		if len(e.shardBusy) < workers {
+			e.shardBusy = make([]int64, workers)
+		}
+		e.shardWorkers = workers
+	}
 	var next atomic.Int64
-	work := func() {
+	work := func(w int) {
+		var start int64
+		if rec != nil {
+			start = rec.Now()
+		}
 		for {
 			u := int(next.Add(1)) - 1
 			if u >= n {
-				return
+				break
 			}
 			fn(u)
+		}
+		if rec != nil {
+			dur := rec.Now() - start
+			e.shardBusy[w] = dur
+			rec.Record(e.profTick, e.profPhase, w, start, dur)
 		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for i := 1; i < workers; i++ {
+		w := i
 		go func() {
 			defer wg.Done()
-			work()
+			work(w)
 		}()
 	}
-	work()
+	work(0)
 	wg.Wait()
 }
 
@@ -316,6 +393,7 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 		return e.Collector, nil
 	}
 	e.wireObservability()
+	rec := e.profRec
 	done := ctx.Done()
 	for i := 0; i < ticks; i++ {
 		if done != nil {
@@ -326,6 +404,10 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			}
 		}
 		k := e.tick
+		var tickStart int64
+		if rec != nil {
+			tickStart = rec.Now()
+		}
 		for ci := range e.Controllers {
 			if e.disabled != nil && e.disabled[ci] {
 				e.failSafeTick(ci, k)
@@ -335,7 +417,18 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			if e.Metrics != nil {
 				start = time.Now()
 			}
+			// A ctl span is recorded only on the controller's epoch ticks —
+			// the ticks its law actually runs (Epochal) — so idle passes of a
+			// long-period controller do not flood the ring.
+			var ctlStart int64
+			epoch := rec != nil && k%e.ctlProf[ci].period == 0
+			if epoch {
+				ctlStart = rec.Now()
+			}
 			perr := e.tickOne(ci, k)
+			if epoch {
+				rec.Record(k, e.ctlProf[ci].phase, -1, ctlStart, rec.Now()-ctlStart)
+			}
 			if e.Metrics != nil {
 				e.ctl[ci].seconds.Observe(time.Since(start).Seconds())
 				e.ctl[ci].ticks.Inc()
@@ -351,12 +444,22 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 			}
 		}
 		if e.Shards > 1 {
+			if rec != nil {
+				e.profTick, e.profPhase = k, prof.PhaseShard
+			}
 			e.Cluster.AdvanceWith(k, e.runFn)
+			if rec != nil {
+				e.observeShards()
+			}
 		} else {
 			e.Cluster.Advance(k)
 		}
 		// One shared fleet pass feeds the registry gauges, the collector, and
 		// (via Stats inside Series.Observe) the OnTick recorders.
+		var obsStart int64
+		if rec != nil {
+			obsStart = rec.Now()
+		}
 		st := e.Cluster.Stats()
 		if e.Metrics != nil {
 			e.observeMetrics(st)
@@ -364,6 +467,9 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 		e.Collector.ObserveStats(st)
 		if e.OnTick != nil {
 			e.OnTick(k, e.Cluster)
+		}
+		if rec != nil {
+			rec.Record(k, prof.PhaseObserve, -1, obsStart, rec.Now()-obsStart)
 		}
 		if e.Paranoid {
 			if err := e.Cluster.CheckInvariants(); err != nil {
@@ -373,6 +479,10 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 		e.tick++
 		if err := e.checkpointDue(); err != nil {
 			return nil, err
+		}
+		if rec != nil {
+			rec.Record(k, prof.PhaseTick, -1, tickStart, rec.Now()-tickStart)
+			e.sampleRuntime(k)
 		}
 	}
 	return e.Collector, nil

@@ -5,6 +5,7 @@ import (
 
 	"nopower/internal/cluster"
 	"nopower/internal/metrics"
+	"nopower/internal/obs/prof"
 )
 
 // Snapshotter is implemented by every component whose mutable state must
@@ -189,9 +190,21 @@ func (e *Engine) checkpointDue() error {
 	if e.CheckpointEvery <= 0 || e.OnCheckpoint == nil || e.tick%e.CheckpointEvery != 0 {
 		return nil
 	}
+	// The span covers the snapshot deep copy plus the hook's synchronous
+	// half (an async saver returns after handing the snapshot off). Labeled
+	// with the tick that just completed, matching the enclosing sim.tick
+	// span.
+	rec := e.profRec
+	var start int64
+	if rec != nil {
+		start = rec.Now()
+	}
 	snap, err := e.Snapshot()
 	if err == nil {
 		err = e.OnCheckpoint(snap)
+	}
+	if rec != nil {
+		rec.Record(e.tick-1, prof.PhaseCheckpoint, -1, start, rec.Now()-start)
 	}
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint at tick %d: %w", e.tick, err)

@@ -19,7 +19,7 @@ BENCH_DIR         ?= bench
 BENCH_MAX_REGRESS ?= 2.0
 BENCH_BASELINE    ?= $(lastword $(sort $(wildcard $(BENCH_DIR)/BENCH_*.json)))
 
-.PHONY: all build test race bench bench-json check fmt vet cover soak verify lint
+.PHONY: all build test race bench bench-json bench-serve check fmt vet cover soak verify lint serve-smoke
 
 all: check
 
@@ -53,6 +53,21 @@ verify: lint
 		echo "no baseline in $(BENCH_DIR)/ — skipping compare (run make bench-json)"; \
 	fi; \
 	rm -f $$tmp
+	$(MAKE) serve-smoke
+
+# serve-smoke boots the real npserved binary on a free port, submits a
+# small job over HTTP, long-polls the result, and asserts it is bitwise
+# identical to an in-process experiments.Run — the cross-process face of
+# the determinism contract — then SIGTERMs the daemon and expects a clean
+# exit. The harness lives in cmd/npserved/main_test.go.
+serve-smoke:
+	$(GO) test -count=1 -run 'TestServeSmoke' ./cmd/npserved
+
+# bench-serve is the E20 daemon load benchmark: 500 jobs over 8 distinct
+# specs per iteration against an in-memory server, reporting p50/p99
+# submit-to-done latency as custom metrics (see EXPERIMENTS.md E20).
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchtime 5x -count=1 ./internal/serve
 
 # lint enforces the columnar-store API boundary: the per-server struct
 # (cluster.Server) and the struct slice (cl.Servers) were removed in the

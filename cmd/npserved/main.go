@@ -1,0 +1,94 @@
+// Command npserved is the long-running multi-tenant run daemon: it accepts
+// simulation jobs over a small HTTP/JSON API, multiplexes them over one
+// worker pool, deduplicates identical specs through a shared result cache,
+// and checkpoints every job so suspend/resume, memory-pressure eviction,
+// and crash-safe restarts all work. See internal/serve for the API.
+//
+// Quick start:
+//
+//	npserved -addr :8080 -dir /var/lib/npserved &
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"mix":"60L","stack":"coordinated"}'
+//	curl -s localhost:8080/v1/jobs/<id>/wait
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nopower/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "npserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; :0 picks a free port)")
+		dir       = flag.String("dir", "", "durable job directory (empty = in-memory only: no resume, no restart recovery)")
+		workers   = flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS)")
+		ckptEvery = flag.Int("checkpoint-every", 500, "ticks between periodic job checkpoints (<0 disables)")
+		memHighMB = flag.Int("mem-high-mb", 0, "heap high watermark in MiB: above it, idle running jobs are evicted to their checkpoints (0 disables)")
+		memLowMB  = flag.Int("mem-low-mb", 0, "heap low watermark in MiB: below it, evicted jobs resume")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Dir:             *dir,
+		Workers:         *workers,
+		CheckpointEvery: *ckptEvery,
+		MemHighBytes:    uint64(*memHighMB) << 20,
+		MemLowBytes:     uint64(*memLowMB) << 20,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	// The smoke harness (and anything scripting the daemon) parses this
+	// line to learn the resolved port when -addr ends in :0.
+	fmt.Printf("npserved listening on %s\n", ln.Addr())
+
+	hsrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hsrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		return err
+	case got := <-sig:
+		fmt.Printf("npserved shutting down (%s)\n", got)
+	}
+
+	// Stop taking requests first, then suspend the fleet: running jobs
+	// checkpoint out and the job directory is the durable hand-off to the
+	// next boot.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hsrv.Shutdown(ctx); err != nil {
+		_ = hsrv.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
+		return err
+	}
+	return srv.Close()
+}

@@ -45,8 +45,9 @@ type Saver struct {
 	wg       sync.WaitGroup
 	inflight chan struct{}
 
-	mu  sync.Mutex
-	err error
+	mu       sync.Mutex
+	err      error
+	lastTick int // highest tick whose write updated the last_* gauges
 }
 
 // Attach wires the saver into the engine: the engine calls back at every
@@ -108,10 +109,17 @@ func (s *Saver) Save(snap *sim.Snapshot) error {
 }
 
 // Flush joins every outstanding background write and returns the first
-// write error. Call it after the run; a Saver is reusable afterwards.
+// write error. Call it after the run; a Saver is reusable afterwards —
+// Flush hands the latched error to the caller and clears it, so one
+// failed run does not poison every later Save on a Saver reused across
+// jobs (the daemon keeps one per job directory).
 func (s *Saver) Flush() error {
 	s.wg.Wait()
-	return s.firstErr()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.err
+	s.err = nil
+	return err
 }
 
 func (s *Saver) write(path string, f *File) error {
@@ -123,8 +131,16 @@ func (s *Saver) write(path string, f *File) error {
 	if r := s.Registry; r != nil {
 		r.Counter("np_checkpoint_writes_total").Inc()
 		r.Counter("np_checkpoint_bytes_total").Add(n)
-		r.Gauge("np_checkpoint_last_bytes").Set(float64(n))
-		r.Gauge("np_checkpoint_last_tick").Set(float64(f.Meta.Tick))
+		// Background writes race each other (maxInflightWrites > 1), so the
+		// "last checkpoint" gauges are monotonic by tick: the tick-20 write
+		// finishing after tick-30's must not roll them backwards.
+		s.mu.Lock()
+		if f.Meta.Tick >= s.lastTick {
+			s.lastTick = f.Meta.Tick
+			r.Gauge("np_checkpoint_last_bytes").Set(float64(n))
+			r.Gauge("np_checkpoint_last_tick").Set(float64(f.Meta.Tick))
+		}
+		s.mu.Unlock()
 		r.Histogram("np_checkpoint_write_seconds", 0.001, 0.01, 0.1, 1).
 			Observe(s.clock().Sub(start).Seconds())
 	}

@@ -1,0 +1,47 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSaverReusableAfterFlush is the regression test for the latched-error
+// bug: a background write failure used to stick to the Saver forever, so a
+// daemon reusing one Saver across jobs could never checkpoint again. Flush
+// must hand the error to the caller and clear it, letting the next Save
+// succeed once the fault is gone.
+func TestSaverReusableAfterFlush(t *testing.T) {
+	eng := buildEngine(t, 5)
+	snap, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Point the saver at a directory that does not exist: the background
+	// write's temp-file creation fails.
+	dir := filepath.Join(t.TempDir(), "missing")
+	s := &Saver{Dir: dir, Every: 10}
+	if err := s.Save(snap); err != nil {
+		t.Fatalf("Save queues asynchronously, got %v", err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("Flush returned nil after a failed background write")
+	}
+
+	// The fault is repaired; a reusable Saver must save cleanly again. On
+	// the old code the latched error failed this Save (and every later one)
+	// forever.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(snap); err != nil {
+		t.Fatalf("Save after Flush still poisoned: %v", err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName(snap.Tick))); err != nil {
+		t.Fatalf("checkpoint not written after recovery: %v", err)
+	}
+}

@@ -188,10 +188,13 @@ type baselineKey struct {
 }
 
 // cachedBaseline computes (or reuses) the scenario's baseline average power.
+// The wait on an in-flight computation is context-aware: a cancelled job
+// stops waiting promptly while the computing job (which carries its own
+// context) finishes and settles the cache for everyone else.
 func cachedBaseline(ctx context.Context, sc Scenario) (float64, error) {
 	sc = sc.normalized()
 	key := baselineKey{sc.Model, string(sc.Mix), sc.Ticks, sc.Seed}
-	return baselineCache.Get(key, func() (float64, error) {
+	return baselineCache.GetCtx(ctx, key, func() (float64, error) {
 		return BaselinePower(ctx, sc)
 	})
 }

@@ -250,6 +250,12 @@ type Observers struct {
 	// this bundle because, like the attachments, it is a per-run engine knob
 	// orthogonal to what is being simulated.
 	FaultPolicy sim.FaultPolicy
+	// Progress, when non-nil, is called after every advanced tick with the
+	// count of ticks completed toward the scenario total — the hook a job
+	// server streams per-job progress from. On a resumed run the first call
+	// already reflects the checkpoint's position. Pure observation: it must
+	// not mutate anything the simulation reads.
+	Progress func(done, total int)
 	// Checkpoint, when non-nil, writes periodic crash-safe snapshots (and a
 	// post-mortem one on a run-failing panic) through the attached saver.
 	Checkpoint *checkpoint.Saver
@@ -269,6 +275,18 @@ func (o Observers) attach(eng *sim.Engine, totalTicks int) (int, error) {
 		// The recorder is run state: a resumed run must continue the series,
 		// not restart it, for the bitwise-replay contract to cover it.
 		eng.RegisterAux("series", o.Series)
+	}
+	if o.Progress != nil {
+		// Chain behind the series recorder (when both are set) on the
+		// engine's single OnTick hook. k is the engine tick, so a resumed
+		// run reports absolute progress, not progress-since-resume.
+		prev, progress := eng.OnTick, o.Progress
+		eng.OnTick = func(k int, cl *cluster.Cluster) {
+			if prev != nil {
+				prev(k, cl)
+			}
+			progress(k+1, totalTicks)
+		}
 	}
 	eng.Tracer = o.Tracer
 	eng.Metrics = o.Metrics

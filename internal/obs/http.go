@@ -1,10 +1,13 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"time"
 )
 
@@ -41,7 +44,19 @@ type Server struct {
 	// Addr is the bound listen address (useful with ":0").
 	Addr net.Addr
 	srv  *http.Server
+	// serveErr carries srv.Serve's return out of the background goroutine:
+	// a mid-run listener failure used to vanish silently; now Close reports
+	// it. Buffered so the goroutine never blocks if Close is never called.
+	serveErr chan error
+	// closeOnce makes Close idempotent; closeErr replays the first result.
+	closeOnce sync.Once
+	closeErr  error
 }
+
+// shutdownTimeout bounds how long Close waits for in-flight scrapes to
+// finish before tearing connections down. Scrapes are sub-second; a
+// handler still running after this long is wedged, not busy.
+const shutdownTimeout = 5 * time.Second
 
 // Serve listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the
 // endpoint map for reg in a background goroutine. Close the returned
@@ -52,9 +67,36 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: NewMux(reg), ReadHeaderTimeout: 5 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
-	return &Server{Addr: ln.Addr(), srv: srv}, nil
+	s := &Server{Addr: ln.Addr(), srv: srv, serveErr: make(chan error, 1)}
+	go func() {
+		err := srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil // the orderly Close/Shutdown path, not a failure
+		}
+		s.serveErr <- err
+	}()
+	return s, nil
 }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server gracefully: the listener closes immediately, but
+// in-flight requests get shutdownTimeout to complete before their
+// connections are torn down. It returns any error the background serve
+// loop died with (a mid-run listener failure) ahead of shutdown trouble —
+// the listener failing while the run depended on /metrics is the story,
+// not the cleanup.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		shutdownErr := s.srv.Shutdown(ctx)
+		if shutdownErr != nil {
+			// Wedged handlers past the grace window: tear everything down.
+			_ = s.srv.Close()
+		}
+		s.closeErr = <-s.serveErr
+		if s.closeErr == nil {
+			s.closeErr = shutdownErr
+		}
+	})
+	return s.closeErr
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestMuxEndpoints(t *testing.T) {
@@ -198,5 +199,72 @@ func TestNewLoggerLevels(t *testing.T) {
 	}
 	if strings.Contains(info.String(), "time=") {
 		t.Error("timestamps should be stripped for reproducible logs")
+	}
+}
+
+// TestCloseWaitsForInflightScrape is the regression test for the abrupt
+// Close: an in-progress /metrics request must complete (full body, status
+// 200) while Close runs, instead of having its connection torn down. The
+// blocking GaugeFunc holds the scrape in-flight until Close is observably
+// underway.
+func TestCloseWaitsForInflightScrape(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	reg.GaugeFunc("np_slow_gauge", func() float64 {
+		once.Do(func() { close(entered) })
+		<-release
+		return 1
+	})
+	reg.Counter("np_marker_total").Inc()
+
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		code int
+		body string
+		err  error
+	}
+	scraped := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr.String() + "/metrics")
+		if err != nil {
+			scraped <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		scraped <- scrape{code: resp.StatusCode, body: string(body), err: err}
+	}()
+	<-entered // the scrape is inside the handler now
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Close must not return while the scrape is still blocked in the
+	// handler (graceful shutdown drains in-flight requests first).
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a scrape was in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	got := <-scraped
+	if got.err != nil {
+		t.Fatalf("in-flight scrape failed across Close: %v", got.err)
+	}
+	if got.code != http.StatusOK || !strings.Contains(got.body, "np_marker_total 1") {
+		t.Fatalf("in-flight scrape = %d %q, want 200 with full body", got.code, got.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
 	}
 }

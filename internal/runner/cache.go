@@ -1,6 +1,9 @@
 package runner
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Cache is a thread-safe memoization table with singleflight semantics:
 // concurrent Get calls for the same key block on one computation instead
@@ -21,8 +24,20 @@ type cacheEntry[V any] struct {
 
 // Get returns the cached value for key, computing it with compute on a
 // miss. Exactly one caller runs compute per in-flight key; the rest wait
-// for its result.
+// for its result. The wait is unbounded — long-lived callers that may be
+// cancelled while another caller computes should use GetCtx.
 func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
+	return c.GetCtx(context.Background(), key, compute)
+}
+
+// GetCtx is Get with a cancellable wait: a caller that joins an in-flight
+// computation abandons the wait and returns ctx.Err() as soon as its
+// context is cancelled, without disturbing the computing caller — the
+// computation keeps running and settles the entry for everyone else. The
+// computing caller itself is NOT interrupted by ctx (compute runs in its
+// goroutine and owns its own cancellation); only the waiters' blocking is
+// context-aware.
+func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.entries == nil {
 		c.entries = make(map[K]*cacheEntry[V])
@@ -30,8 +45,13 @@ func (c *Cache[K, V]) Get(key K, compute func() (V, error)) (V, error) {
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		cacheHits.Add(1)
-		<-e.done
-		return e.value, e.err
+		select {
+		case <-e.done:
+			return e.value, e.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
 	}
 	e := &cacheEntry[V]{done: make(chan struct{})}
 	c.entries[key] = e

@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCacheGetCtxWaiterCancellation is the regression test for the daemon
+// hang: a waiter joined on an in-flight computation must return ctx.Err()
+// promptly when cancelled, while the computing goroutine finishes unharmed
+// and settles the entry for later callers. On the old code the waiter
+// blocked on <-e.done with no way out.
+func TestCacheGetCtxWaiterCancellation(t *testing.T) {
+	var c Cache[string, int]
+	computing := make(chan struct{})
+	release := make(chan struct{})
+
+	type result struct {
+		v   int
+		err error
+	}
+	leader := make(chan result, 1)
+	go func() {
+		v, err := c.Get("k", func() (int, error) {
+			close(computing)
+			<-release
+			return 42, nil
+		})
+		leader <- result{v, err}
+	}()
+	<-computing
+
+	// The waiter joins the in-flight computation with an already-expiring
+	// context and must abandon the wait.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.GetCtx(ctx, "k", func() (int, error) {
+		t.Error("waiter must join the in-flight computation, not recompute")
+		return 0, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled waiter returned %v, want context.DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("waiter took %v to notice cancellation", waited)
+	}
+
+	// The computation was not disturbed: it completes and settles the cache.
+	close(release)
+	if r := <-leader; r.err != nil || r.v != 42 {
+		t.Fatalf("leader got (%d, %v), want (42, nil)", r.v, r.err)
+	}
+	got, err := c.GetCtx(context.Background(), "k", func() (int, error) {
+		t.Error("settled entry must be served from cache")
+		return 0, nil
+	})
+	if err != nil || got != 42 {
+		t.Fatalf("post-settle GetCtx = (%d, %v), want (42, nil)", got, err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// TestCacheGetCtxPreCancelled pins the miss path: a cancelled context does
+// not stop the caller from computing (compute owns its own cancellation),
+// matching Get's behavior for the leader.
+func TestCacheGetCtxPreCancelled(t *testing.T) {
+	var c Cache[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := c.GetCtx(ctx, "k", func() (int, error) { return 7, nil })
+	if err != nil || got != 7 {
+		t.Fatalf("leader GetCtx = (%d, %v), want (7, nil)", got, err)
+	}
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeLoad is the E20 load benchmark (`make bench-serve`): each
+// iteration floods a fresh in-memory daemon with 500 jobs over 8 distinct
+// specs — the multi-tenant shape, where most submissions dedup onto a few
+// computations — and reports the p50/p99 submit-to-done job latency. Every
+// job must finish done: a lost or failed job fails the benchmark.
+func BenchmarkServeLoad(b *testing.B) {
+	const jobs, distinct = 500, 8
+	for i := 0; i < b.N; i++ {
+		s, err := New(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat := make([]time.Duration, jobs)
+		start := make([]time.Time, jobs)
+		ids := make([]string, jobs)
+		for j := range ids {
+			spec := JobSpec{Mix: "scale2", Ticks: 120, Seed: int64(9000 + j%distinct)}
+			start[j] = time.Now()
+			v, err := s.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = v.ID
+		}
+		// One waiter per job, so each latency is stamped the moment that
+		// job finishes, not when a sequential poll got around to it.
+		var wg sync.WaitGroup
+		errs := make(chan string, jobs)
+		for j, id := range ids {
+			wg.Add(1)
+			go func(j int, id string) {
+				defer wg.Done()
+				v, err := s.Wait(context.Background(), id)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if v.Status != StatusDone {
+					errs <- string(v.Status) + ": " + v.Error
+					return
+				}
+				lat[j] = time.Since(start[j])
+			}(j, id)
+		}
+		wg.Wait()
+		close(errs)
+		if msg, bad := <-errs; bad {
+			b.Fatal(msg)
+		}
+		s.Close()
+		sort.Slice(lat, func(a, c int) bool { return lat[a] < lat[c] })
+		b.ReportMetric(float64(lat[jobs/2].Microseconds())/1e3, "p50-ms")
+		b.ReportMetric(float64(lat[jobs*99/100].Microseconds())/1e3, "p99-ms")
+	}
+	b.ReportMetric(float64(jobs), "jobs/op")
+}

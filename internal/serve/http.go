@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"nopower/internal/obs"
+)
+
+// Handler returns the daemon's HTTP API, mounted alongside the standard
+// observability endpoints (/metrics, /healthz, pprof) of obs.NewMux:
+//
+//	POST /v1/jobs              submit a JobSpec, get the job view (202)
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job's view
+//	GET  /v1/jobs/{id}/wait    long-poll until terminal (?timeout=30s)
+//	GET  /v1/jobs/{id}/events  NDJSON progress stream until terminal
+//	GET  /v1/jobs/{id}/result  the Output once done (202 while running)
+//	POST /v1/jobs/{id}/cancel  stop for good
+//	POST /v1/jobs/{id}/suspend checkpoint out of memory
+//	POST /v1/jobs/{id}/resume  requeue from the latest checkpoint
+func (s *Server) Handler() http.Handler {
+	mux := obs.NewMux(s.reg)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/wait", s.handleWait)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleResume)
+	return mux
+}
+
+// writeError maps server errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrServerClosed):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSONBody(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSONBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSONBody(w, http.StatusBadRequest, map[string]string{"error": "bad spec: " + err.Error()})
+		return
+	}
+	v, err := s.Submit(spec)
+	if err != nil {
+		if errors.Is(err, ErrServerClosed) {
+			writeError(w, err)
+			return
+		}
+		writeJSONBody(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSONBody(w, http.StatusAccepted, v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSONBody(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, v)
+}
+
+// handleWait long-polls: it returns the job view once the job is terminal,
+// or the current view when the timeout lapses first (the caller re-polls).
+func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
+	timeout := 30 * time.Second
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		d, err := time.ParseDuration(q)
+		if err != nil || d <= 0 || d > 10*time.Minute {
+			writeJSONBody(w, http.StatusBadRequest, map[string]string{"error": "bad timeout"})
+			return
+		}
+		timeout = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	v, err := s.Wait(ctx, r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, v)
+}
+
+// handleEvents streams the job view as NDJSON — one JSON object per line,
+// flushed as written — until the job is terminal or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	interval := 200 * time.Millisecond
+	if q := r.URL.Query().Get("interval"); q != "" {
+		if d, err := time.ParseDuration(q); err == nil && d >= 10*time.Millisecond && d <= time.Minute {
+			interval = d
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := enc.Encode(v); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if v.Status.terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.C:
+		}
+		if v, err = s.Job(id); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	switch v.Status {
+	case StatusDone:
+		writeJSONBody(w, http.StatusOK, v.Output)
+	case StatusFailed, StatusCancelled:
+		writeJSONBody(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job is %s: %s", v.Status, v.Error),
+		})
+	default:
+		writeJSONBody(w, http.StatusAccepted, v)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Cancel)
+}
+
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Suspend)
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	s.handleLifecycle(w, r, s.Resume)
+}
+
+func (s *Server) handleLifecycle(w http.ResponseWriter, r *http.Request, op func(string) error) {
+	id := r.PathValue("id")
+	if err := op(id); err != nil {
+		if errors.Is(err, ErrUnknownJob) || errors.Is(err, ErrServerClosed) {
+			writeError(w, err)
+			return
+		}
+		writeJSONBody(w, http.StatusConflict, map[string]string{"error": err.Error()})
+		return
+	}
+	v, err := s.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, v)
+}

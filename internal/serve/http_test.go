@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHTTPEndToEnd drives the whole tenant workflow over the wire: submit,
+// long-poll wait, fetch the result, list, scrape /metrics, and the error
+// paths a client will actually hit.
+func TestHTTPEndToEnd(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Workers: 2, CheckpointEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := testSpec(7000, 200)
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.ID == "" || v.Key == "" {
+		t.Fatalf("submit view incomplete: %+v", v)
+	}
+
+	// Long-poll until done.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/wait?timeout=2m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var final View
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final.Status != StatusDone {
+		t.Fatalf("wait returned status %s (%s)", final.Status, final.Error)
+	}
+
+	// The result endpoint serves the Output, bitwise equal to a direct run.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status = %d", resp.StatusCode)
+	}
+	var out Output
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if want := directResult(t, spec); out.Result != want {
+		t.Fatalf("HTTP result diverges from direct run:\n got %+v\nwant %+v", out.Result, want)
+	}
+
+	// Listing includes the job.
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []View
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// The daemon metrics ride the same mux.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "np_serve_jobs_done_total 1") {
+		t.Errorf("metrics page missing np_serve_jobs_done_total 1")
+	}
+
+	// Error paths.
+	if resp, err = http.Get(ts.URL + "/v1/jobs/j-nope"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+	if resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"mix":"bogus"}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec status = %d, want 400", resp.StatusCode)
+	}
+	if resp, err = http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"nope":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPEventsStream reads the NDJSON progress stream end to end: every
+// line is a valid view of the right job, and the stream closes itself on
+// the terminal state.
+func TestHTTPEventsStream(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := testSpec(7100, 800)
+	v, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events?interval=10ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type = %q", ct)
+	}
+	var lines int
+	var last View
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d is not a view: %v", lines, err)
+		}
+		if last.ID != v.ID {
+			t.Fatalf("stream reported job %s, want %s", last.ID, v.ID)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("empty event stream")
+	}
+	if !last.Status.terminal() {
+		t.Fatalf("stream ended on non-terminal status %s", last.Status)
+	}
+	if last.Status != StatusDone {
+		t.Fatalf("job finished %s (%s)", last.Status, last.Error)
+	}
+}
+
+// TestHTTPSuspendResume exercises the lifecycle endpoints over the wire.
+func TestHTTPSuspendResume(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Workers: 1, CheckpointEvery: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	v, err := s.Submit(testSpec(7200, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(action string) (int, View) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/jobs/"+v.ID+"/"+action, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var jv View
+		_ = json.NewDecoder(resp.Body).Decode(&jv)
+		return resp.StatusCode, jv
+	}
+	if code, _ := post("suspend"); code != http.StatusOK {
+		t.Fatalf("suspend status = %d", code)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		jv, err := s.Job(v.ID)
+		return err == nil && jv.Status == StatusSuspended
+	}, "job never suspended")
+	// Resuming a suspended job succeeds; a second resume conflicts unless
+	// the job already queued back up (then it's 409 either way or running).
+	if code, _ := post("resume"); code != http.StatusOK {
+		t.Fatalf("resume status = %d", code)
+	}
+	final := waitTerminal(t, s, v.ID, 120*time.Second)
+	if final.Status != StatusDone {
+		t.Fatalf("job after resume: %s (%s)", final.Status, final.Error)
+	}
+	if code, _ := post("cancel"); code != http.StatusOK {
+		t.Fatalf("cancel of terminal job = %d, want 200 no-op", code)
+	}
+}

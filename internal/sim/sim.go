@@ -374,8 +374,10 @@ func (e *Engine) Run(ticks int) (*metrics.Collector, error) {
 }
 
 // RunContext is Run with cooperative cancellation: it checks the context
-// between ticks and stops with the context's error as soon as it is
-// cancelled or its deadline passes. Invariant violations in Paranoid mode
+// between ticks and stops as soon as it is cancelled or its deadline
+// passes, wrapping context.Cause(ctx) — so a cancellation cause installed
+// via context.WithCancelCause (e.g. a job server's suspend signal) is
+// recoverable from the returned error with errors.Is. Invariant violations in Paranoid mode
 // surface as a *InvariantError; controller panics surface per FaultPolicy
 // (a *ControllerPanicError under the default FaultFail).
 //
@@ -399,7 +401,10 @@ func (e *Engine) RunContext(ctx context.Context, ticks int) (*metrics.Collector,
 		if done != nil {
 			select {
 			case <-done:
-				return nil, fmt.Errorf("sim: stopped at tick %d: %w", e.tick, ctx.Err())
+				// context.Cause, not ctx.Err(): a caller that cancelled with a
+				// cause (the daemon's suspend-for-eviction vs. tenant cancel)
+				// gets that cause back through errors.Is on the run error.
+				return nil, fmt.Errorf("sim: stopped at tick %d: %w", e.tick, context.Cause(ctx))
 			default:
 			}
 		}

@@ -154,6 +154,26 @@ func TestRunContextCancellation(t *testing.T) {
 	}
 }
 
+// TestRunContextCancellationCause pins the cause plumbing a job server
+// depends on: a run stopped via context.WithCancelCause wraps the cause in
+// its error, so callers can distinguish suspend-for-eviction from a tenant
+// cancel without string matching.
+func TestRunContextCancellationCause(t *testing.T) {
+	suspended := errors.New("job suspended")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(suspended)
+	_, err := New(testutil.StandaloneCluster(t, 1, 10, 0.2)).RunContext(ctx, 5)
+	if !errors.Is(err, suspended) {
+		t.Fatalf("err = %v, want it to wrap the cancellation cause", err)
+	}
+	// Plain cancellation still reports context.Canceled.
+	plain, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := New(testutil.StandaloneCluster(t, 1, 10, 0.2)).RunContext(plain, 5); !errors.Is(err, context.Canceled) {
+		t.Errorf("plain cancel err = %v", err)
+	}
+}
+
 func TestBaseline(t *testing.T) {
 	build := func() (*cluster.Cluster, error) {
 		return cluster.New(testutil.Config(0, 0, 2), testutil.FlatSet(2, 10, 0.5))

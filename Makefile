@@ -19,7 +19,7 @@ BENCH_DIR         ?= bench
 BENCH_MAX_REGRESS ?= 2.0
 BENCH_BASELINE    ?= $(lastword $(sort $(wildcard $(BENCH_DIR)/BENCH_*.json)))
 
-.PHONY: all build test race bench bench-json bench-serve check fmt vet cover soak verify lint serve-smoke
+.PHONY: all build test race bench bench-json bench-serve check fmt vet cover soak verify lint serve-smoke facility-smoke
 
 all: check
 
@@ -54,6 +54,7 @@ verify: lint
 	fi; \
 	rm -f $$tmp
 	$(MAKE) serve-smoke
+	$(MAKE) facility-smoke
 
 # serve-smoke boots the real npserved binary on a free port, submits a
 # small job over HTTP, long-polls the result, and asserts it is bitwise
@@ -62,6 +63,13 @@ verify: lint
 # exit. The harness lives in cmd/npserved/main_test.go.
 serve-smoke:
 	$(GO) test -count=1 -run 'TestServeSmoke' ./cmd/npserved
+
+# facility-smoke runs E21 at reduced scale with the FM in the stack and
+# asserts the facility determinism contract: the sharded run and the
+# kill-and-resume run reproduce the serial run bitwise, facility columns
+# (PUE, total draw, cooling, outside air) included.
+facility-smoke:
+	$(GO) test -count=1 -run 'TestFacilityIdentity' ./internal/experiments
 
 # bench-serve is the E20 daemon load benchmark: 500 jobs over 8 distinct
 # specs per iteration against an in-memory server, reporting p50/p99

@@ -11,9 +11,10 @@
 //	npsim -checkpoint-dir ckpt -checkpoint-every 500       # crash-safe run
 //	npsim -checkpoint-dir ckpt -resume                     # continue it
 //	npsim -shards 8 -timeline run.json                     # phase timeline (Perfetto)
+//	npsim -facility -mix aiburst -series fac.csv           # facility co-simulation + PUE
 //
 // Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
-// nobudgets, vmlevel, energydelay, slo, none.
+// nobudgets, vmlevel, energydelay, slo, facility, none.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"nopower/internal/checkpoint"
+	"nopower/internal/controllers/fm"
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
@@ -46,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		modelName = fs.String("model", "BladeA", "hardware model: BladeA or ServerB")
-		mix       = fs.String("mix", "180", "workload mix: 180, 60L, 60M, 60H, 60HH, 60HHH")
+		mix       = fs.String("mix", "180", "workload mix: 180, 60L, 60M, 60H, 60HH, 60HHH, aiburst")
 		stack     = fs.String("stack", "coordinated", "controller stack preset")
 		ticks     = fs.Int("ticks", experiments.DefaultTicks, "simulation length in ticks")
 		seed      = fs.Int64("seed", 42, "trace/policy seed")
@@ -69,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ckptDir   = fs.String("checkpoint-dir", "", "write crash-safe snapshots into this directory")
 		ckptEvery = fs.Int("checkpoint-every", 500, "checkpoint interval in ticks (with -checkpoint-dir)")
 		resume    = fs.Bool("resume", false, "resume from the latest checkpoint in -checkpoint-dir; the other flags must match the checkpointed run")
+		facility  = fs.Bool("facility", false, "co-simulate the facility (UPS/PDU losses, weather-derated cooling, PUE) with the FM budget above the GM")
+		feedW     = fs.Float64("facility-feed", 0, "utility feed capacity in W (0 = sized to carry the operator budget on an average day)")
 		shards    = fs.Int("shards", 1, "goroutines per simulation tick for the plant/EC advance (results are bit-identical at any value)")
 		timeline  = fs.String("timeline", "", "write a Chrome trace-event timeline of the run's internal phases to this path (open in Perfetto)")
 		tlCap     = fs.Int("timeline-cap", 0, "span ring capacity for -timeline (0 = default; oldest spans are overwritten when full)")
@@ -90,6 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	spec.Policy = *pol
 	spec.AllowOff = spec.AllowOff && !*noOff
 	spec.Shards = *shards
+	if *facility {
+		// The facility loop implies the cooling zone manager: the chiller
+		// model is the thermal side of the same co-simulation.
+		spec.EnableFacility, spec.EnableCooling = true, true
+	}
+	if *feedW != 0 {
+		spec.FacilityFeedW = *feedW
+	}
 
 	sc := experiments.Scenario{
 		Model:          *modelName,
@@ -158,6 +170,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		o.Prof = profiler
 	}
 	o.FaultPolicy = policy
+	// Capture the FM handle (nil when the spec has no facility loop) for the
+	// facility summary lines after the run.
+	var fmc *fm.Controller
+	o.OnBuild = func(h *core.Handles) { fmc = h.FM }
 
 	// The run-identity labels stamped into checkpoints and validated on
 	// resume: resuming under different settings would not be a continuation,
@@ -166,6 +182,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"model": *modelName, "mix": *mix, "ticks": fmt.Sprint(*ticks),
 		"seed": fmt.Sprint(*seed), "stack": *stack, "policy": *pol,
 		"chaos": *chaosCase, "series-stride": fmt.Sprint(*stride),
+		"facility": fmt.Sprint(spec.EnableFacility),
 	}
 	if *ckptDir != "" {
 		o.Checkpoint = &checkpoint.Saver{
@@ -297,6 +314,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "viol EM        %8.2f %%\n", 100*res.ViolEM)
 	fmt.Fprintf(stdout, "viol GM        %8.2f %%\n", 100*res.ViolGM)
 	fmt.Fprintf(stdout, "servers on     %8.1f\n", res.AvgServersOn)
+	if fmc != nil {
+		s := fmc.Sample()
+		budget, feed := fmc.Budget()
+		viol, _ := fmc.DrainViolations()
+		fmt.Fprintf(stdout, "facility power %8.0f W\n", s.TotalW)
+		fmt.Fprintf(stdout, "cooling power  %8.0f W\n", s.CoolingW)
+		fmt.Fprintf(stdout, "PUE            %8.3f\n", s.PUE)
+		fmt.Fprintf(stdout, "IT budget      %8.0f W  (feed %.0f W)\n", budget, feed)
+		fmt.Fprintf(stdout, "feed viol      %8d ticks\n", viol)
+	}
 	if disabled >= 0 {
 		fmt.Fprintf(stdout, "disabled ctrls %8d\n", disabled)
 	}

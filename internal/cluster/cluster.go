@@ -93,6 +93,12 @@ type Cluster struct {
 	VMs        []VM
 	// StaticCapGrp is CAP_GRP, the group's fixed thermal budget.
 	StaticCapGrp float64
+	// FacilityCapGrp is the facility manager's IT-power budget (utility feed
+	// and cooling capacity, DESIGN.md §15). Zero means "no facility budget":
+	// the FM floors every write at a positive watt, so zero is unambiguous
+	// and old checkpoints (which decode the missing field as zero) restore
+	// onto exactly the pre-facility behavior.
+	FacilityCapGrp float64
 	// GroupPower is the total draw from the latest Advance.
 	GroupPower float64
 	// Cfg preserves the construction parameters.
@@ -643,8 +649,8 @@ func (c *Cluster) AdvanceWith(tick int, run func(n int, fn func(u int))) {
 		Tick: tick, GroupPower: tot.power, DemandWork: tot.demand, DeliveredWork: tot.delivered,
 		ServersOn: tot.on, ViolSM: tot.violSM, ViolSMWatts: tot.violMass,
 		ViolEM: tot.violEM, EnclosureObs: len(c.Enclosures),
-		ViolGM:      tot.power > c.StaticCapGrp,
-		HeadroomGrp: c.StaticCapGrp - tot.power,
+		ViolGM:      tot.power > c.CapGrp(),
+		HeadroomGrp: c.CapGrp() - tot.power,
 	}
 	if tot.hasEnc {
 		c.stats.HeadroomEnc = tot.hEnc
@@ -840,8 +846,8 @@ func (c *Cluster) recomputeStats() {
 		Tick: c.LastTick, GroupPower: c.GroupPower,
 		DemandWork: c.DemandWork, DeliveredWork: c.DeliveredWork,
 		EnclosureObs: len(c.Enclosures),
-		ViolGM:       c.GroupPower > c.StaticCapGrp,
-		HeadroomGrp:  c.StaticCapGrp - c.GroupPower,
+		ViolGM:       c.GroupPower > c.CapGrp(),
+		HeadroomGrp:  c.CapGrp() - c.GroupPower,
 	}
 	hasLoc := false
 	for i := range c.on {
@@ -887,6 +893,18 @@ func (c *Cluster) OnCount() int {
 func (c *Cluster) StandaloneServers() []int {
 	c.ensureUnits()
 	return c.standalone
+}
+
+// CapGrp returns the effective group budget: the operator/cooling budget in
+// StaticCapGrp tightened by the facility manager's budget when one is set
+// (min rule — exactly how the paper's architecture composes references).
+// With no facility manager in the stack FacilityCapGrp stays zero and this
+// is bit-for-bit StaticCapGrp, so pre-facility runs are unchanged.
+func (c *Cluster) CapGrp() float64 {
+	if c.FacilityCapGrp > 0 && c.FacilityCapGrp < c.StaticCapGrp {
+		return c.FacilityCapGrp
+	}
+	return c.StaticCapGrp
 }
 
 // MaxGroupPower returns the sum of per-server maximum draws.

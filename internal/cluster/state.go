@@ -46,14 +46,18 @@ type VMState struct {
 
 // State is a complete copy of the cluster's mutable state.
 type State struct {
-	Servers       []ServerState
-	Enclosures    []EnclosureState
-	VMs           []VMState
-	StaticCapGrp  float64
-	GroupPower    float64
-	DemandWork    float64
-	DeliveredWork float64
-	LastTick      int
+	Servers      []ServerState
+	Enclosures   []EnclosureState
+	VMs          []VMState
+	StaticCapGrp float64
+	// FacilityCapGrp was added with the facility subsystem. Checkpoints from
+	// before it decode the missing field as zero — the "no facility budget"
+	// sentinel — so old golden artifacts restore bit-identically.
+	FacilityCapGrp float64
+	GroupPower     float64
+	DemandWork     float64
+	DeliveredWork  float64
+	LastTick       int
 }
 
 // State deep-copies the cluster's mutable state. The wire layout (field
@@ -63,14 +67,15 @@ type State struct {
 func (c *Cluster) State() State {
 	n := c.NumServers()
 	st := State{
-		Servers:       make([]ServerState, n),
-		Enclosures:    make([]EnclosureState, len(c.Enclosures)),
-		VMs:           make([]VMState, len(c.VMs)),
-		StaticCapGrp:  c.StaticCapGrp,
-		GroupPower:    c.GroupPower,
-		DemandWork:    c.DemandWork,
-		DeliveredWork: c.DeliveredWork,
-		LastTick:      c.LastTick,
+		Servers:        make([]ServerState, n),
+		Enclosures:     make([]EnclosureState, len(c.Enclosures)),
+		VMs:            make([]VMState, len(c.VMs)),
+		StaticCapGrp:   c.StaticCapGrp,
+		FacilityCapGrp: c.FacilityCapGrp,
+		GroupPower:     c.GroupPower,
+		DemandWork:     c.DemandWork,
+		DeliveredWork:  c.DeliveredWork,
+		LastTick:       c.LastTick,
 	}
 	for i := 0; i < n; i++ {
 		st.Servers[i] = ServerState{
@@ -140,6 +145,7 @@ func (c *Cluster) RestoreState(st State) error {
 		}
 	}
 	c.StaticCapGrp = st.StaticCapGrp
+	c.FacilityCapGrp = st.FacilityCapGrp
 	c.GroupPower = st.GroupPower
 	c.DemandWork = st.DemandWork
 	c.DeliveredWork = st.DeliveredWork

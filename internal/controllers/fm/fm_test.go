@@ -1,0 +1,206 @@
+package fm
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/cluster"
+	"nopower/internal/facility"
+	"nopower/internal/obs"
+	"nopower/internal/testutil"
+)
+
+func newTestFM(t *testing.T, cl *cluster.Cluster, mode Mode) *Controller {
+	t.Helper()
+	c, err := New(facility.DefaultModel(cl.MaxGroupPower(), 42), mode, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Coordinated, 10); err == nil {
+		t.Error("nil model accepted")
+	}
+	m := facility.DefaultModel(1000, 1)
+	if _, err := New(m, Coordinated, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+	m.FixedW = -1
+	if _, err := New(m, Coordinated, 10); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// The coordinated FM exports through the facility register and never touches
+// CAP_GRP; every consumer then composes the two by the min rule.
+func TestCoordinatedExportsFacilityRegister(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+	operator := cl.StaticCapGrp
+	c := newTestFM(t, cl, Coordinated)
+	for k := 0; k < 100; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	if cl.StaticCapGrp != operator {
+		t.Errorf("coordinated FM touched CAP_GRP: %v -> %v", operator, cl.StaticCapGrp)
+	}
+	if cl.FacilityCapGrp <= 0 {
+		t.Errorf("no facility budget exported: %v", cl.FacilityCapGrp)
+	}
+	budget, feed := c.Budget()
+	if budget != cl.FacilityCapGrp {
+		t.Errorf("Budget() %v != register %v", budget, cl.FacilityCapGrp)
+	}
+	if feed <= 0 {
+		t.Errorf("feed not resolved: %v", feed)
+	}
+	// The effective group cap is the min of the two registers.
+	want := cl.StaticCapGrp
+	if cl.FacilityCapGrp < want {
+		want = cl.FacilityCapGrp
+	}
+	if got := cl.CapGrp(); got != want {
+		t.Errorf("CapGrp() %v, want min %v", got, want)
+	}
+}
+
+// The uncoordinated FM stomps CAP_GRP directly — the §2.3 last-writer-wins
+// conflict pattern.
+func TestUncoordinatedStompsCapGrp(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+	operator := cl.StaticCapGrp
+	c := newTestFM(t, cl, Uncoordinated)
+	for k := 0; k < 100; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	if cl.StaticCapGrp == operator {
+		t.Error("uncoordinated FM left CAP_GRP alone")
+	}
+	if cl.FacilityCapGrp != 0 {
+		t.Errorf("uncoordinated FM used the facility register: %v", cl.FacilityCapGrp)
+	}
+}
+
+// The fail-safe pins the facility register to the worst-case-weather budget
+// (always ≥ 1 W, never the unset sentinel), and the uncoordinated variant
+// hands CAP_GRP back to the operator.
+func TestFailSafe(t *testing.T) {
+	for _, mode := range []Mode{Coordinated, Uncoordinated} {
+		cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+		operator := cl.StaticCapGrp
+		c := newTestFM(t, cl, mode)
+		for k := 0; k < 50; k++ {
+			c.Tick(k, cl)
+			cl.Advance(k)
+		}
+		c.FailSafe(50, cl)
+		if cl.FacilityCapGrp < 1 {
+			t.Errorf("mode %v: fail-safe budget %v below the 1 W floor", mode, cl.FacilityCapGrp)
+		}
+		// The pinned budget is feasible under the hottest possible weather.
+		safe := c.Model.WorstCaseITBudget(func() float64 { _, f := c.Budget(); return f }())
+		if safe >= 1 && cl.FacilityCapGrp != safe {
+			t.Errorf("mode %v: fail-safe pinned %v, want worst-case %v", mode, cl.FacilityCapGrp, safe)
+		}
+		if mode == Uncoordinated && cl.StaticCapGrp != operator {
+			t.Errorf("uncoordinated fail-safe did not restore CAP_GRP: %v != %v", cl.StaticCapGrp, operator)
+		}
+	}
+	// Before the first tick there is nothing to pin.
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.5)
+	c := newTestFM(t, cl, Coordinated)
+	c.FailSafe(0, cl)
+	if cl.FacilityCapGrp != 0 {
+		t.Errorf("uninitialized fail-safe wrote %v", cl.FacilityCapGrp)
+	}
+}
+
+// Snapshot round-trip: a restored FM continues bit-identically to the
+// original — same budgets, same registers, same telemetry.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+	c := newTestFM(t, cl, Coordinated)
+	for k := 0; k < 73; k++ {
+		c.Tick(k, cl)
+		cl.Advance(k)
+	}
+	blob, err := c.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := newTestFM(t, cl, Coordinated)
+	if err := clone.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for k := 73; k < 150; k++ {
+		c.Tick(k, cl)
+		clone.Tick(k, cl)
+		cl.Advance(k)
+	}
+	b1, f1 := c.Budget()
+	b2, f2 := clone.Budget()
+	if math.Float64bits(b1) != math.Float64bits(b2) || math.Float64bits(f1) != math.Float64bits(f2) {
+		t.Errorf("restored FM diverged: budget %v/%v feed %v/%v", b1, b2, f1, f2)
+	}
+	v1, e1 := c.DrainViolations()
+	v2, e2 := clone.DrainViolations()
+	if v1 != v2 || e1 != e2 {
+		t.Errorf("restored telemetry diverged: %d/%d vs %d/%d", v1, e1, v2, e2)
+	}
+	s1, s2 := c.Sample(), clone.Sample()
+	if math.Float64bits(s1.TotalW) != math.Float64bits(s2.TotalW) ||
+		math.Float64bits(s1.PUE) != math.Float64bits(s2.PUE) {
+		t.Errorf("restored sample diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// Gauges mirror telemetry the controller computes anyway: attaching a
+// registry changes nothing about the control behavior, and nil detaches.
+func TestSetMetricsTransparent(t *testing.T) {
+	run := func(reg *obs.Registry) float64 {
+		cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+		c := newTestFM(t, cl, Coordinated)
+		c.SetMetrics(reg)
+		for k := 0; k < 60; k++ {
+			c.Tick(k, cl)
+			cl.Advance(k)
+		}
+		return cl.FacilityCapGrp
+	}
+	reg := obs.NewRegistry()
+	with, without := run(reg), run(nil)
+	if math.Float64bits(with) != math.Float64bits(without) {
+		t.Errorf("metrics attachment changed the budget: %v vs %v", with, without)
+	}
+	if v := reg.Gauge("np_facility_pue").Value(); v <= 1 {
+		t.Errorf("np_facility_pue gauge %v", v)
+	}
+	if v := reg.Gauge("np_facility_power_watts").Value(); v <= 0 {
+		t.Errorf("np_facility_power_watts gauge %v", v)
+	}
+	// Detach and keep ticking: must not panic, gauges stay frozen.
+	cl := testutil.StandaloneCluster(t, 4, 500, 0.8)
+	c := newTestFM(t, cl, Coordinated)
+	c.SetMetrics(reg)
+	c.Tick(0, cl)
+	c.SetMetrics(nil)
+	c.Tick(1, cl)
+}
+
+// The series adapter is a pure function of (tick, IT power).
+func TestSeriesEvalPure(t *testing.T) {
+	cl := testutil.StandaloneCluster(t, 2, 100, 0.5)
+	c := newTestFM(t, cl, Coordinated)
+	f1, p1, c1, o1 := c.SeriesEval(17, 1234)
+	f2, p2, c2, o2 := c.SeriesEval(17, 1234)
+	if math.Float64bits(f1) != math.Float64bits(f2) || math.Float64bits(p1) != math.Float64bits(p2) ||
+		math.Float64bits(c1) != math.Float64bits(c2) || math.Float64bits(o1) != math.Float64bits(o2) {
+		t.Error("SeriesEval not deterministic")
+	}
+	if f1 <= 1234 || p1 <= 1 {
+		t.Errorf("facility %v / PUE %v not above the IT floor", f1, p1)
+	}
+}

@@ -76,7 +76,7 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		return
 	}
 	c.epochs++
-	if cl.GroupPower > cl.StaticCapGrp {
+	if cl.GroupPower > cl.CapGrp() {
 		c.violations++
 	}
 
@@ -100,7 +100,9 @@ func (c *Controller) Tick(k int, cl *cluster.Cluster) {
 		})
 	}
 
-	shares := c.Policy.Divide(cl.StaticCapGrp, children)
+	// Divide the effective group budget: CAP_GRP tightened by the facility
+	// manager's feed/cooling budget when an FM sits above this GM (min rule).
+	shares := c.Policy.Divide(cl.CapGrp(), children)
 
 	reason := "min-rule-share"
 	if c.Mode == Uncoordinated {

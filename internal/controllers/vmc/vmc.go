@@ -356,7 +356,7 @@ func (c *Controller) repack(k int, cl *cluster.Cluster) {
 		for _, e := range cl.Enclosures {
 			encBudgets[e.ID] = (1 - c.bEnc) * e.StaticCap
 		}
-		grpBudget = (1 - c.bGrp) * cl.StaticCapGrp
+		grpBudget = (1 - c.bGrp) * cl.CapGrp()
 	}
 	rRef := c.cfg.RRef
 	if rRef <= 0 || rRef >= 1 {

@@ -36,7 +36,20 @@ type CRAC struct {
 	COPAt15 float64
 	// COPSlope is the COP gain per °C of warmer supply air.
 	COPSlope float64
+
+	// Outside-air dependence (DESIGN.md §15): chillers reject heat against
+	// the outdoor wet bulb, so effective COP degrades as the outside air
+	// warms past OATRefC by OATCOPSlope per °C. Both default to zero — a
+	// CRAC with no outside-air model behaves exactly as before.
+	OATRefC     float64
+	OATCOPSlope float64
 }
+
+// minCOP floors the effective COP: however hot the outside air, a real
+// chiller still moves heat (at terrible efficiency) rather than running
+// backwards. The floor keeps CoolingPower finite and positive under any
+// weather excursion.
+const minCOP = 0.5
 
 // DefaultCRAC returns a mainstream calibration: COP 3.5 at 15 °C improving
 // ~0.15 per °C, raised-floor envelope 15–27 °C.
@@ -44,7 +57,11 @@ func DefaultCRAC() *CRAC {
 	return &CRAC{SupplyC: 15, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 3.5, COPSlope: 0.15}
 }
 
-// Validate rejects non-physical parameters.
+// Validate rejects non-physical parameters. Beyond per-field sanity it
+// checks the whole envelope: the COP line must stay positive at the coldest
+// admissible setpoint, otherwise a setpoint the manager is allowed to pick
+// (pinned at MinSupplyC under thermal pressure) would make CoolingPower
+// negative — an air conditioner generating electricity.
 func (c *CRAC) Validate() error {
 	if c.MinSupplyC >= c.MaxSupplyC {
 		return fmt.Errorf("cooling: supply envelope [%v, %v]", c.MinSupplyC, c.MaxSupplyC)
@@ -55,12 +72,29 @@ func (c *CRAC) Validate() error {
 	if c.SupplyC < c.MinSupplyC || c.SupplyC > c.MaxSupplyC {
 		return fmt.Errorf("cooling: setpoint %v outside envelope", c.SupplyC)
 	}
+	if coldest := c.COPAt15 + c.COPSlope*(c.MinSupplyC-15); coldest <= 0 {
+		return fmt.Errorf("cooling: COP %v non-positive at coldest setpoint %v °C", coldest, c.MinSupplyC)
+	}
+	if c.OATCOPSlope < 0 {
+		return fmt.Errorf("cooling: outside-air COP slope %v", c.OATCOPSlope)
+	}
 	return nil
 }
 
 // COP returns the coefficient of performance at the current setpoint.
 func (c *CRAC) COP() float64 {
 	return c.COPAt15 + c.COPSlope*(c.SupplyC-15)
+}
+
+// COPAt returns the effective COP at the current setpoint under the given
+// outside-air temperature, floored at minCOP. With a zero outside-air model
+// (OATCOPSlope == 0) it reduces to COP() exactly — same bits.
+func (c *CRAC) COPAt(outsideC float64) float64 {
+	cop := c.COP() - c.OATCOPSlope*(outsideC-c.OATRefC)
+	if cop < minCOP {
+		cop = minCOP
+	}
+	return cop
 }
 
 // CoolingPower returns the electrical power the CRAC draws to remove the
@@ -70,6 +104,14 @@ func (c *CRAC) CoolingPower(heatW float64) float64 {
 		return 0
 	}
 	return heatW / c.COP()
+}
+
+// CoolingPowerAt is CoolingPower under the given outside-air temperature.
+func (c *CRAC) CoolingPowerAt(heatW, outsideC float64) float64 {
+	if heatW <= 0 {
+		return 0
+	}
+	return heatW / c.COPAt(outsideC)
 }
 
 // Manager is the zone controller coordinating cooling with power management.

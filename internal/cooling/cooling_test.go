@@ -16,11 +16,45 @@ func TestCRACValidation(t *testing.T) {
 		{SupplyC: 15, MinSupplyC: 27, MaxSupplyC: 15, COPAt15: 3.5},
 		{SupplyC: 15, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 0},
 		{SupplyC: 40, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 3.5},
+		// COP line crosses zero inside the envelope: at the coldest admissible
+		// setpoint (5 °C) the COP would be 0.5 + 0.15·(5−15) = −1, turning
+		// CoolingPower negative once the manager pins the setpoint cold.
+		{SupplyC: 15, MinSupplyC: 5, MaxSupplyC: 27, COPAt15: 0.5, COPSlope: 0.15},
+		// Negative outside-air slope would make hot afternoons improve the COP.
+		{SupplyC: 15, MinSupplyC: 15, MaxSupplyC: 27, COPAt15: 3.5, OATCOPSlope: -0.1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("CRAC %d should be rejected", i)
 		}
+	}
+}
+
+// With no outside-air model, COPAt must reduce to COP() exactly — same bits —
+// so pre-facility configurations are unaffected. With one, hot air derates
+// the COP down to the minCOP floor and never below.
+func TestCOPAtOutsideAir(t *testing.T) {
+	c := DefaultCRAC()
+	for _, out := range []float64{-10, 0, 20, 35, 50} {
+		if math.Float64bits(c.COPAt(out)) != math.Float64bits(c.COP()) {
+			t.Errorf("no OAT model: COPAt(%v)=%v != COP()=%v", out, c.COPAt(out), c.COP())
+		}
+	}
+	c.OATRefC, c.OATCOPSlope = 20, 0.08
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(c.COPAt(20)) != math.Float64bits(c.COP()) {
+		t.Errorf("at reference air COPAt(20)=%v != COP()=%v", c.COPAt(20), c.COP())
+	}
+	if hot, ref := c.COPAt(35), c.COPAt(20); hot >= ref {
+		t.Errorf("hot outside air did not derate: %v >= %v", hot, ref)
+	}
+	if got := c.COPAt(1e6); got != minCOP {
+		t.Errorf("extreme heat COP %v, want floor %v", got, minCOP)
+	}
+	if p := c.CoolingPowerAt(1000, 1e6); p <= 0 || math.IsInf(p, 0) {
+		t.Errorf("cooling power under extreme heat %v", p)
 	}
 }
 
@@ -161,5 +195,95 @@ func TestAdaptiveBeatsFixedCold(t *testing.T) {
 	}
 	if ratio := adaptive / fixed; math.IsNaN(ratio) || ratio > 0.95 {
 		t.Errorf("adaptive saving too small: ratio %.3f", ratio)
+	}
+}
+
+// Table-driven boundary cases for the zone manager: the setpoint pinned at
+// either end of the envelope, a zone with every server powered down, and
+// negative thermal headroom (trip point so low that even the coldest supply
+// air cannot sustain any power). In every case the setpoint must stay inside
+// the envelope and the exported budgets must stay non-negative — a negative
+// cap would read as "draw power backwards" downstream.
+func TestZoneManagerBoundaries(t *testing.T) {
+	cases := []struct {
+		name     string
+		level    float64        // per-server demand
+		off      bool           // power every server down before running
+		model    *thermal.Model // nil = thermal.Default()
+		wantMin  bool           // setpoint pinned at MinSupplyC
+		wantMax  bool           // setpoint pinned at MaxSupplyC
+		wantZero bool           // exported per-server/group caps must be zero
+	}{
+		{name: "pinned-warm", level: 0.05, wantMax: true},
+		{
+			name: "pinned-cold", level: 1.0, wantMin: true,
+			model: &thermal.Model{AmbientC: 25, RthCPerW: 0.45, TauTicks: 60, CritC: 35},
+		},
+		{name: "zero-power-zone", level: 0.5, off: true, wantMax: true},
+		{
+			// CritC − margin (14) is below MinSupplyC (15): the sustainable
+			// per-server power is negative at every admissible setpoint.
+			name: "negative-headroom", level: 1.0, wantMin: true, wantZero: true,
+			model: &thermal.Model{AmbientC: 5, RthCPerW: 0.45, TauTicks: 60, CritC: 16},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cl := testutil.StandaloneCluster(t, 4, 500, tc.level)
+			if tc.off {
+				// ForceOff is the hard-failure path: it cuts power regardless
+				// of hosted VMs — the only way a whole zone goes dark.
+				for i := 0; i < cl.NumServers(); i++ {
+					cl.ForceOff(i)
+				}
+			}
+			tm := thermal.Default()
+			if tc.model != nil {
+				tm = *tc.model
+			}
+			m, err := NewManager(nil, tm, 25, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k := 0; k < 200; k++ {
+				m.Tick(k, cl)
+				cl.Advance(k)
+			}
+			sp := m.CRAC.SupplyC
+			if sp < m.CRAC.MinSupplyC || sp > m.CRAC.MaxSupplyC {
+				t.Fatalf("setpoint %v escaped the envelope [%v, %v]", sp, m.CRAC.MinSupplyC, m.CRAC.MaxSupplyC)
+			}
+			if tc.wantMin && sp != m.CRAC.MinSupplyC {
+				t.Errorf("setpoint %v not pinned at MinSupplyC %v", sp, m.CRAC.MinSupplyC)
+			}
+			if tc.wantMax && sp != m.CRAC.MaxSupplyC {
+				t.Errorf("setpoint %v not pinned at MaxSupplyC %v", sp, m.CRAC.MaxSupplyC)
+			}
+			if cl.StaticCapGrp < 0 {
+				t.Errorf("exported group cap is negative: %v", cl.StaticCapGrp)
+			}
+			for i := 0; i < cl.NumServers(); i++ {
+				if cl.StaticCap(i) < 0 {
+					t.Errorf("exported cap for server %d is negative: %v", i, cl.StaticCap(i))
+				}
+			}
+			if tc.wantZero {
+				if cl.StaticCapGrp != 0 {
+					t.Errorf("negative headroom should export a zero group cap, got %v", cl.StaticCapGrp)
+				}
+				for i := 0; i < cl.NumServers(); i++ {
+					if cl.StaticCap(i) != 0 {
+						t.Errorf("negative headroom should export a zero cap for server %d, got %v", i, cl.StaticCap(i))
+					}
+				}
+			}
+			avgCool, _, _ := m.Stats()
+			if tc.off && avgCool != 0 {
+				t.Errorf("powered-down zone recorded cooling energy: %v W", avgCool)
+			}
+			if !tc.off && avgCool <= 0 {
+				t.Errorf("loaded zone recorded no cooling energy")
+			}
+		})
 	}
 }

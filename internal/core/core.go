@@ -25,27 +25,31 @@ import (
 	"nopower/internal/cluster"
 	"nopower/internal/controllers/ec"
 	"nopower/internal/controllers/em"
+	"nopower/internal/controllers/fm"
 	"nopower/internal/controllers/gm"
 	"nopower/internal/controllers/pm"
 	"nopower/internal/controllers/sm"
 	"nopower/internal/controllers/vmc"
 	"nopower/internal/controllers/vmec"
 	"nopower/internal/cooling"
+	"nopower/internal/facility"
 	"nopower/internal/policy"
 	"nopower/internal/rng"
 	"nopower/internal/sim"
 	"nopower/internal/thermal"
 )
 
-// Periods holds the control intervals T_ec/T_sm/T_em/T_grp/T_vmc in ticks.
+// Periods holds the control intervals T_ec/T_sm/T_em/T_grp/T_vmc plus the
+// facility manager's T_fm, in ticks.
 type Periods struct {
-	EC, SM, EM, GM, VMC int
+	EC, SM, EM, GM, VMC, FM int
 }
 
 // DefaultPeriods returns the paper's base time constants 1/5/25/50/500
-// (Fig. 5).
+// (Fig. 5) plus the facility interval 100 (chiller plants and weather move
+// slower than the group manager).
 func DefaultPeriods() Periods {
-	return Periods{EC: 1, SM: 5, EM: 25, GM: 50, VMC: 500}
+	return Periods{EC: 1, SM: 5, EM: 25, GM: 50, VMC: 500, FM: 100}
 }
 
 // Spec selects and wires a controller stack.
@@ -89,6 +93,15 @@ type Spec struct {
 	// setpoint adapts to the thermal headroom, exporting a cooling-derived
 	// group budget when Coordinated.
 	EnableCooling bool
+	// EnableFacility adds the facility co-simulation (DESIGN.md §15): a
+	// facility model (UPS/PDU losses, weather-derated chiller, PUE) and the
+	// FM controller above the GM deriving the group's IT budget from the
+	// utility feed and cooling capacity. Coordinated exports through the
+	// min-rule facility register; uncoordinated stomps CAP_GRP directly.
+	EnableFacility bool
+	// FacilityFeedW overrides the utility feed capacity in Watts; 0 sizes
+	// the feed to carry the operator's CAP_GRP on an average day.
+	FacilityFeedW float64
 	// EnablePM adds the §7 future-work performance manager: SLO telemetry
 	// that (when Coordinated) feeds the VMC's packing-headroom buffer.
 	EnablePM bool
@@ -163,7 +176,7 @@ func VMCOnly() Spec {
 
 // SpecByName resolves a stack preset by its CLI name. Known names:
 // coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
-// nobudgets, vmlevel, energydelay, none.
+// nobudgets, vmlevel, energydelay, slo, facility, none.
 func SpecByName(name string) (Spec, error) {
 	switch name {
 	case "coordinated":
@@ -192,6 +205,10 @@ func SpecByName(name string) (Spec, error) {
 		s := Coordinated()
 		s.EnablePM = true
 		return s, nil
+	case "facility":
+		s := Coordinated()
+		s.EnableFacility, s.EnableCooling = true, true
+		return s, nil
 	case "none":
 		s := Coordinated()
 		s.EnableEC, s.EnableSM, s.EnableEM, s.EnableGM, s.EnableVMC = false, false, false, false, false
@@ -203,7 +220,7 @@ func SpecByName(name string) (Spec, error) {
 // StackNames lists the presets SpecByName accepts.
 func StackNames() []string {
 	return []string{"coordinated", "uncoordinated", "novmc", "vmconly",
-		"apprutil", "nofeedback", "nobudgets", "vmlevel", "energydelay", "slo", "none"}
+		"apprutil", "nofeedback", "nobudgets", "vmlevel", "energydelay", "slo", "facility", "none"}
 }
 
 // Handles exposes the built controllers for telemetry and tests. Fields are
@@ -217,6 +234,7 @@ type Handles struct {
 	VMC     *vmc.Controller
 	CAP     *sm.ElectricalCapper
 	Cooling *cooling.Manager
+	FM      *fm.Controller
 	PM      *pm.Controller
 	// RNG is the stack's deterministic random source (serializable; feeds
 	// any stochastic policy). Registered with the engine as aux snapshot
@@ -264,6 +282,25 @@ func Build(cl *cluster.Cluster, spec Spec) (*sim.Engine, *Handles, error) {
 	h := &Handles{RNG: src}
 	var stack []sim.Controller
 
+	if spec.EnableFacility {
+		// The facility manager runs first — the coarsest domain of all: its
+		// IT budget lands before the cooling manager and the GM act on it
+		// within the same tick.
+		if spec.Periods.FM <= 0 {
+			spec.Periods.FM = DefaultPeriods().FM
+		}
+		mode := fm.Uncoordinated
+		if spec.Coordinated {
+			mode = fm.Coordinated
+		}
+		fmodel := facility.DefaultModel(cl.MaxGroupPower(), spec.Seed)
+		h.FM, err = fm.New(fmodel, mode, spec.Periods.FM)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		h.FM.FeedW = spec.FacilityFeedW
+		stack = append(stack, h.FM)
+	}
 	if spec.EnableCooling {
 		// The zone manager runs first (coarsest domain): its budget export
 		// lands before the GM divides the group budget this tick.

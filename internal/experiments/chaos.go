@@ -26,6 +26,9 @@ type ChaosCase struct {
 	Events func(ticks int, seed int64) []sim.Event
 	// Crash names a controller to crash (panic) mid-run; "" crashes nothing.
 	Crash string
+	// Facility adds the facility co-simulation (FM above the GM) to the
+	// stack under test — the fm-crash scenario needs an FM to crash.
+	Facility bool
 }
 
 // crashTick places the injected controller crash: one third into the run, so
@@ -64,6 +67,8 @@ func ChaosCases() []ChaosCase {
 		},
 		{Name: "sm-crash", Desc: "the server manager panics mid-run (degraded mode takes over)", Crash: "SM"},
 		{Name: "gm-crash", Desc: "the group manager panics mid-run (degraded mode takes over)", Crash: "GM"},
+		{Name: "fm-crash", Desc: "the facility manager panics mid-run (budget pins to the static feed)",
+			Crash: "FM", Facility: true},
 	}
 }
 
@@ -101,10 +106,10 @@ type ChaosRow struct {
 // stack, the crash target wrapped with the chaos crasher. sc must already be
 // normalized. The replay harness rebuilds engines through the same path so a
 // resumed chaos run is structurally identical to the one it continues.
-func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, error) {
+func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, *core.Handles, error) {
 	cl, err := sc.BuildCluster()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if spec.Seed == 0 {
 		spec.Seed = sc.Seed
@@ -115,9 +120,12 @@ func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, er
 	if spec.Shards == 0 {
 		spec.Shards = DefaultShards()
 	}
-	eng, _, err := core.Build(cl, spec)
+	if cse.Facility {
+		spec.EnableFacility = true
+	}
+	eng, h, err := core.Build(cl, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if cse.Events != nil {
 		inj := sim.NewEventInjector(cse.Events(sc.Ticks, sc.Seed)...)
@@ -128,7 +136,7 @@ func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, er
 		// crash; the run then doubles as its own fault-free anchor.
 		chaos.CrashByName(eng, cse.Crash, crashTick(sc.Ticks))
 	}
-	return eng, nil
+	return eng, h, nil
 }
 
 // RunChaos executes one scenario against one stack: the fault schedule is
@@ -138,10 +146,11 @@ func newChaosEngine(sc Scenario, spec core.Spec, cse ChaosCase) (*sim.Engine, er
 // engine runs under o.FaultPolicy.
 func RunChaos(ctx context.Context, sc Scenario, spec core.Spec, cse ChaosCase, o Observers) (ChaosRow, error) {
 	sc = sc.normalized()
-	eng, err := newChaosEngine(sc, spec, cse)
+	eng, h, err := newChaosEngine(sc, spec, cse)
 	if err != nil {
 		return ChaosRow{}, err
 	}
+	o.wireHandles(h)
 	remaining, err := o.attach(eng, sc.Ticks)
 	if err != nil {
 		return ChaosRow{}, err

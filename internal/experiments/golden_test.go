@@ -29,7 +29,7 @@ func TestRegenerateGoldenAoS(t *testing.T) {
 	spec := core.Coordinated()
 
 	// Partial run to the kill tick, snapshot, persist.
-	eng, err := newChaosEngine(sc, spec, cse)
+	eng, _, err := newChaosEngine(sc, spec, cse)
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}
@@ -98,7 +98,7 @@ func TestGoldenAoSStateRoundTrip(t *testing.T) {
 		t.Fatalf("decode: %v", err)
 	}
 	sc := goldenScenario().normalized()
-	eng, err := newChaosEngine(sc, core.Coordinated(), goldenCase())
+	eng, _, err := newChaosEngine(sc, core.Coordinated(), goldenCase())
 	if err != nil {
 		t.Fatalf("build: %v", err)
 	}

@@ -131,13 +131,14 @@ var registry = map[string]struct {
 	"replay":     {Replay, "chaos soak killed mid-run and resumed from checkpoint; verifies bitwise replay"},
 	"scale":      {Scale, "10k-server fleet: sharded tick engine vs serial, bit-identical results (E17)"},
 	"scale100k":  {Scale100k, "100k-server fleet: columnar cluster store, serial vs sharded bit-identity (E18)"},
+	"facility":   {Facility, "facility co-simulation: UPS/PDU losses, weather-derated cooling, PUE, FM budget (E21)"},
 }
 
 // Names lists the registered experiment IDs in DESIGN.md order.
 func Names() []string {
 	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
 		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
-		"extensions", "cooling", "chaos", "replay", "scale", "scale100k"}
+		"extensions", "cooling", "chaos", "replay", "scale", "scale100k", "facility"}
 	// Guard against drift between the slice and the map.
 	if len(order) != len(registry) {
 		keys := make([]string, 0, len(registry))

@@ -52,12 +52,13 @@ func ReplayCheck(ctx context.Context, sc Scenario, spec core.Spec, cse ChaosCase
 	}
 
 	// Interrupted run: killAt ticks, then snapshot.
-	eng, err := newChaosEngine(sc, spec, cse)
+	eng, h, err := newChaosEngine(sc, spec, cse)
 	if err != nil {
 		return ReplayRow{}, err
 	}
 	var part metrics.Series
 	o := Observers{Series: &part, FaultPolicy: fp}
+	o.wireHandles(h)
 	if _, err := o.attach(eng, sc.Ticks); err != nil {
 		return ReplayRow{}, err
 	}

@@ -265,6 +265,23 @@ type Observers struct {
 	// and observers) — the restore validates the component shape and the
 	// determinism contract guarantees a bit-identical continuation.
 	Resume *checkpoint.File
+	// OnBuild, when non-nil, receives the built stack's controller handles
+	// before the run starts — the hook CLIs use to pull facility/cooling
+	// summaries out of a run they otherwise only see the Result of. Pure
+	// observation: it must not mutate the handles.
+	OnBuild func(*core.Handles)
+}
+
+// wireHandles connects handle-dependent observers: the series' facility
+// columns when an FM is in the stack, and the caller's OnBuild hook. Call
+// before attach so a resumed series restores with the hook already set.
+func (o Observers) wireHandles(h *core.Handles) {
+	if o.Series != nil && h.FM != nil {
+		o.Series.AttachFacility(h.FM.SeriesEval)
+	}
+	if o.OnBuild != nil {
+		o.OnBuild(h)
+	}
 }
 
 // attach wires the bundle onto a freshly built engine and returns the number
@@ -339,10 +356,11 @@ func RunObserved(ctx context.Context, sc Scenario, spec core.Spec, baselineAvgPo
 	if spec.Shards == 0 {
 		spec.Shards = DefaultShards()
 	}
-	eng, _, err := core.Build(cl, spec)
+	eng, h, err := core.Build(cl, spec)
 	if err != nil {
 		return metrics.Result{}, err
 	}
+	o.wireHandles(h)
 	remaining, err := o.attach(eng, sc.Ticks)
 	if err != nil {
 		return metrics.Result{}, err

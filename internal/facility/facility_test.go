@@ -1,0 +1,225 @@
+package facility
+
+import (
+	"math"
+	"testing"
+)
+
+func testModel() *Model { return DefaultModel(10000, 42) }
+
+func TestDefaultModelValidates(t *testing.T) {
+	if err := testModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The degenerate fleet still yields a usable model.
+	if err := DefaultModel(0, 1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*Model)
+	}{
+		{"ups-capacity", func(m *Model) { m.UPS.CapacityW = 0 }},
+		{"ups-negative-loss", func(m *Model) { m.UPS.Loss1 = -0.1 }},
+		{"pdu-negative-loss", func(m *Model) { m.PDU.Loss2 = -0.1 }},
+		{"nil-chiller", func(m *Model) { m.Chiller = nil }},
+		{"weather-period", func(m *Model) { m.Weather.TicksPerDay = 0 }},
+		{"weather-negative-amp", func(m *Model) { m.Weather.AmpC = -1 }},
+		{"weather-negative-noise", func(m *Model) { m.Weather.NoiseC = -1 }},
+		{"negative-fixed", func(m *Model) { m.FixedW = -1 }},
+	}
+	for _, tc := range mutate {
+		m := testModel()
+		tc.f(m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: invalid model accepted", tc.name)
+		}
+	}
+}
+
+// The loss curve: zero capacity is inert, negative load clamps to the no-load
+// loss, and the full-load dissipation is the sum of the three coefficients
+// times capacity.
+func TestConversionLossCurve(t *testing.T) {
+	s := ConversionStage{Name: "ups", CapacityW: 1000, Loss0: 0.02, Loss1: 0.03, Loss2: 0.02}
+	if got := s.LossW(0); got != 0.02*1000 {
+		t.Errorf("no-load loss %v, want %v", got, 0.02*1000)
+	}
+	if got, want := s.LossW(-5), s.LossW(0); got != want {
+		t.Errorf("negative load loss %v, want clamp to no-load %v", got, want)
+	}
+	if got, want := s.LossW(1000), (0.02+0.03+0.02)*1000; math.Abs(got-want) > 1e-9 {
+		t.Errorf("full-load loss %v, want %v", got, want)
+	}
+	// Strictly increasing and convex in load.
+	half, full := s.LossW(500), s.LossW(1000)
+	if !(s.LossW(0) < half && half < full) {
+		t.Error("loss curve not increasing")
+	}
+	if full-half <= half-s.LossW(0) {
+		t.Error("loss curve not convex (no I²R term visible)")
+	}
+	inert := ConversionStage{}
+	if inert.LossW(500) != 0 {
+		t.Error("zero-capacity stage should be inert")
+	}
+}
+
+// Weather is a pure function of (seed, tick): identical inputs reproduce the
+// same bits, different seeds decorrelate, and the excursion never leaves
+// mean ± (amplitude + noise bound).
+func TestWeatherDeterminismAndBounds(t *testing.T) {
+	w := Weather{MeanC: 22, AmpC: 8, TicksPerDay: 1000, NoiseC: 0.5, Seed: 7}
+	w2 := w
+	diff := false
+	for k := 0; k < 3000; k++ {
+		a, b := w.OutsideC(k), w2.OutsideC(k)
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("same weather diverged at tick %d: %v vs %v", k, a, b)
+		}
+		lo, hi := w.MeanC-w.AmpC-w.NoiseC, w.MeanC+w.AmpC+w.NoiseC
+		if a < lo || a > hi {
+			t.Fatalf("tick %d: %v outside [%v, %v]", k, a, lo, hi)
+		}
+		other := Weather{MeanC: 22, AmpC: 8, TicksPerDay: 1000, NoiseC: 0.5, Seed: 8}
+		if math.Float64bits(a) != math.Float64bits(other.OutsideC(k)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical weather")
+	}
+	// Without noise the diurnal is an exact sinusoid: one quarter day past
+	// tick 0 sits at the peak.
+	calm := Weather{MeanC: 22, AmpC: 8, TicksPerDay: 1000}
+	if got := calm.OutsideC(250); math.Abs(got-30) > 1e-9 {
+		t.Errorf("quarter-day peak %v, want 30", got)
+	}
+}
+
+// Eval is monotone in IT power (more IT → more of everything) and its
+// bookkeeping is internally consistent.
+func TestEvalMonotoneAndConsistent(t *testing.T) {
+	m := testModel()
+	prev := m.Eval(0, 0)
+	if prev.ITW != 0 || prev.PUE != 0 {
+		t.Errorf("zero-IT sample: IT %v PUE %v", prev.ITW, prev.PUE)
+	}
+	for itW := 500.0; itW <= 10000; itW += 500 {
+		s := m.Eval(0, itW)
+		if s.TotalW <= prev.TotalW || s.HeatW <= prev.HeatW || s.CoolingW <= prev.CoolingW {
+			t.Fatalf("facility eval not increasing at IT %v W", itW)
+		}
+		wantHeat := s.ITW + s.PDULossW + s.UPSLossW
+		if math.Abs(s.HeatW-wantHeat) > 1e-9 {
+			t.Fatalf("heat %v != IT+losses %v", s.HeatW, wantHeat)
+		}
+		wantTotal := s.HeatW + s.CoolingW + m.FixedW
+		if math.Abs(s.TotalW-wantTotal) > 1e-9 {
+			t.Fatalf("total %v != heat+cooling+fixed %v", s.TotalW, wantTotal)
+		}
+		if s.PUE <= 1 {
+			t.Fatalf("PUE %v not above 1 at IT %v W", s.PUE, itW)
+		}
+		prev = s
+	}
+	// Negative IT clamps to zero.
+	if got := m.Eval(0, -100); got.ITW != 0 {
+		t.Errorf("negative IT not clamped: %v", got.ITW)
+	}
+}
+
+// The budget inversion: the returned IT power is feasible, nearly tight
+// against the feed, deterministic bit-for-bit, and zero for a dead feed.
+func TestITBudgetInversion(t *testing.T) {
+	m := testModel()
+	feed := m.FeedForIT(8000)
+	for _, outC := range []float64{10, 22, 30.5} {
+		b := m.ITBudgetAt(outC, feed)
+		if b <= 0 {
+			t.Fatalf("budget %v at %v °C", b, outC)
+		}
+		s := m.EvalAt(outC, b)
+		if s.TotalW > feed {
+			t.Fatalf("budget %v infeasible: total %v > feed %v", b, s.TotalW, feed)
+		}
+		if cap := m.coolingCapAt(outC); s.HeatW > cap {
+			t.Fatalf("budget %v overloads cooling: heat %v > cap %v", b, s.HeatW, cap)
+		}
+		// Tight: 0.1 % more IT must violate a constraint (the bisection found
+		// the boundary, not just any feasible point).
+		over := m.EvalAt(outC, b*1.001)
+		if over.TotalW <= feed && over.HeatW <= m.coolingCapAt(outC) {
+			t.Fatalf("budget %v at %v °C is not tight", b, outC)
+		}
+		if math.Float64bits(b) != math.Float64bits(m.ITBudgetAt(outC, feed)) {
+			t.Fatal("budget inversion not deterministic")
+		}
+	}
+	// Hot afternoons shrink the budget.
+	if hot, mild := m.ITBudgetAt(30, feed), m.ITBudgetAt(22, feed); hot >= mild {
+		t.Errorf("hot budget %v not below mild %v", hot, mild)
+	}
+	if m.ITBudgetAt(22, 0) != 0 || m.ITBudgetAt(22, -5) != 0 {
+		t.Error("dead feed should yield a zero budget")
+	}
+	// A feed below the fixed hotel load is infeasible even at zero IT.
+	if got := m.ITBudgetAt(22, m.FixedW/2); got != 0 {
+		t.Errorf("starved feed budget %v, want 0", got)
+	}
+}
+
+// WorstCaseITBudget is feasible at every tick the weather model can produce.
+func TestWorstCaseBudgetAlwaysFeasible(t *testing.T) {
+	m := testModel()
+	feed := m.FeedForIT(8000)
+	safe := m.WorstCaseITBudget(feed)
+	if safe <= 0 {
+		t.Fatalf("worst-case budget %v", safe)
+	}
+	for k := 0; k < 2500; k++ {
+		s := m.Eval(k, safe)
+		if s.TotalW > feed {
+			t.Fatalf("tick %d: worst-case budget total %v > feed %v", k, s.TotalW, feed)
+		}
+		if s.HeatW > m.CoolingCapW(k) {
+			t.Fatalf("tick %d: worst-case budget heat %v > cooling cap %v", k, s.HeatW, m.CoolingCapW(k))
+		}
+	}
+	// And it is no larger than any per-tick budget.
+	for k := 0; k < 2500; k += 100 {
+		if b := m.ITBudget(k, feed); safe > b {
+			t.Fatalf("tick %d: worst-case %v above the live budget %v", k, safe, b)
+		}
+	}
+}
+
+// FeedForIT sizes a feed that exactly carries the IT load on an average day:
+// inverting it recovers (almost) the same IT power under mean outside air.
+func TestFeedForITRoundTrip(t *testing.T) {
+	m := testModel()
+	// Unconstrained chiller: the feed is the only binding constraint, so the
+	// inversion must recover the sized IT power exactly (to bisection width).
+	m.ChillerCapW = 0
+	if !math.IsInf(m.CoolingCapW(0), 1) {
+		t.Error("unconstrained chiller capacity should be infinite")
+	}
+	for _, itW := range []float64{1000, 5000, 9000} {
+		feed := m.FeedForIT(itW)
+		got := m.ITBudgetAt(m.Weather.MeanC, feed)
+		if math.Abs(got-itW) > itW*1e-9 {
+			t.Errorf("feed round-trip at %v W: got %v", itW, got)
+		}
+	}
+	// With the rated chiller back, a high IT sizing makes the weather-derated
+	// cooling capacity bind first: the recovered budget drops below the
+	// sizing — the regime the FM loop exists to manage.
+	capped := testModel()
+	feed := capped.FeedForIT(9000)
+	if got := capped.ITBudgetAt(capped.Weather.MeanC, feed); got >= 9000 {
+		t.Errorf("cooling-bound budget %v not below the 9000 W sizing", got)
+	}
+}

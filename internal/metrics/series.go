@@ -40,7 +40,30 @@ type Series struct {
 	HeadroomGrp []float64
 	HeadroomEnc []float64
 	HeadroomLoc []float64
+
+	// Facility-side columns (DESIGN.md §15), recorded only when a facility
+	// model is attached (AttachFacility): total facility draw, PUE, cooling
+	// draw, and outside-air temperature per sample. Empty otherwise, and the
+	// CSV omits the columns, so pre-facility output is byte-identical.
+	FacilityW []float64
+	PUE       []float64
+	CoolingW  []float64
+	OutsideC  []float64
+
+	// facility evaluates the facility sample for a tick. Unexported so gob
+	// skips it (funcs don't serialize); Restore preserves it across the
+	// overwrite, and the recorded columns above travel in snapshots like
+	// every other column.
+	facility FacilityEval
 }
+
+// FacilityEval computes the facility-side sample for tick k at IT power itW.
+// It must be a pure function of (k, itW) — no internal stream state — so a
+// resumed or sharded run reproduces the exact bits of the uninterrupted one.
+type FacilityEval func(k int, itW float64) (facilityW, pue, coolingW, outsideC float64)
+
+// AttachFacility wires a facility model into the series; nil detaches.
+func (s *Series) AttachFacility(f FacilityEval) { s.facility = f }
 
 // Observe appends one sample (honoring the stride). It reads the cluster's
 // shared per-tick aggregate instead of re-scanning the fleet.
@@ -60,9 +83,16 @@ func (s *Series) Observe(k int, cl *cluster.Cluster) {
 	// Computed from the cluster fields rather than -st.HeadroomGrp: negating
 	// an exact-zero headroom would record -0 where the subtraction yields +0,
 	// and the replay bar (BitEqual) distinguishes the two.
-	over := cl.GroupPower - cl.StaticCapGrp
+	over := cl.GroupPower - cl.CapGrp()
 	if over < 0 {
 		over = 0
+	}
+	if s.facility != nil {
+		fw, pue, cw, oc := s.facility(k, st.GroupPower)
+		s.FacilityW = append(s.FacilityW, fw)
+		s.PUE = append(s.PUE, pue)
+		s.CoolingW = append(s.CoolingW, cw)
+		s.OutsideC = append(s.OutsideC, oc)
 	}
 	s.Ticks = append(s.Ticks, k)
 	s.PowerW = append(s.PowerW, st.GroupPower)
@@ -89,6 +119,7 @@ func (s *Series) Restore(data []byte) error {
 	if err := state.Unmarshal(data, &tmp); err != nil {
 		return err
 	}
+	tmp.facility = s.facility // funcs don't travel in snapshots; keep the wiring
 	*s = tmp
 	return nil
 }
@@ -126,14 +157,23 @@ func (s *Series) BitEqual(o *Series) bool {
 	return intEq(s.Ticks, o.Ticks) && intEq(s.ServersOn, o.ServersOn) && intEq(s.ViolSM, o.ViolSM) &&
 		bitEq(s.PowerW, o.PowerW) && bitEq(s.PerfLoss, o.PerfLoss) && bitEq(s.TempProxy, o.TempProxy) &&
 		bitEq(s.HeadroomGrp, o.HeadroomGrp) && bitEq(s.HeadroomEnc, o.HeadroomEnc) &&
-		bitEq(s.HeadroomLoc, o.HeadroomLoc)
+		bitEq(s.HeadroomLoc, o.HeadroomLoc) &&
+		bitEq(s.FacilityW, o.FacilityW) && bitEq(s.PUE, o.PUE) &&
+		bitEq(s.CoolingW, o.CoolingW) && bitEq(s.OutsideC, o.OutsideC)
 }
 
-// WriteCSV emits the series with a header row.
+// WriteCSV emits the series with a header row. The facility columns appear
+// only when facility samples were recorded, so non-facility output is
+// byte-identical to the pre-facility format.
 func (s *Series) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"tick", "power_w", "servers_on", "viol_sm", "perf_loss", "group_over_w",
-		"headroom_grp_w", "headroom_enc_w", "headroom_loc_w"}); err != nil {
+	withFacility := len(s.FacilityW) == len(s.Ticks) && len(s.Ticks) > 0
+	header := []string{"tick", "power_w", "servers_on", "viol_sm", "perf_loss", "group_over_w",
+		"headroom_grp_w", "headroom_enc_w", "headroom_loc_w"}
+	if withFacility {
+		header = append(header, "facility_w", "pue", "cooling_w", "outside_c")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i := range s.Ticks {
@@ -147,6 +187,14 @@ func (s *Series) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(s.HeadroomGrp[i], 'f', 2, 64),
 			strconv.FormatFloat(s.HeadroomEnc[i], 'f', 2, 64),
 			strconv.FormatFloat(s.HeadroomLoc[i], 'f', 2, 64),
+		}
+		if withFacility {
+			row = append(row,
+				strconv.FormatFloat(s.FacilityW[i], 'f', 2, 64),
+				strconv.FormatFloat(s.PUE[i], 'f', 4, 64),
+				strconv.FormatFloat(s.CoolingW[i], 'f', 2, 64),
+				strconv.FormatFloat(s.OutsideC[i], 'f', 2, 64),
+			)
 		}
 		if err := cw.Write(row); err != nil {
 			return err

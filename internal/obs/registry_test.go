@@ -241,3 +241,48 @@ func TestExpositionEscapesLabelValues(t *testing.T) {
 		}
 	}
 }
+
+// TestFacilityNamesExposition pins the np_facility_* series the facility
+// manager registers: every name must survive the exposition round trip as a
+// well-formed two-field line, and the staged conversion-loss series must come
+// out with a properly quoted label — the SeriesName/EscapeLabel gate every
+// in-line label is required to pass through.
+func TestFacilityNamesExposition(t *testing.T) {
+	names := []string{
+		"np_facility_power_watts",
+		"np_facility_pue",
+		"np_facility_cooling_watts",
+		SeriesName("np_facility_conversion_loss_watts", "stage", "ups"),
+		SeriesName("np_facility_conversion_loss_watts", "stage", "pdu"),
+		"np_facility_outside_celsius",
+		"np_facility_it_budget_watts",
+	}
+	r := NewRegistry()
+	for _, n := range names {
+		r.Gauge(n).Set(1.5)
+	}
+	r.Counter("np_facility_feed_violations_total").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`np_facility_conversion_loss_watts{stage="ups"} 1.5`,
+		`np_facility_conversion_loss_watts{stage="pdu"} 1.5`,
+		`np_facility_pue 1.5`,
+		`np_facility_feed_violations_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if f := strings.Fields(line); len(f) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}

@@ -31,6 +31,9 @@ const (
 	ActServerCap = "cap_srv"
 	// ActEnclosureCap is an enclosure's dynamic budget cap_enc (GM knob).
 	ActEnclosureCap = "cap_enc"
+	// ActGroupCap is the group-level power budget CAP_GRP (the FM knob —
+	// and, uncoordinated, the register it fights the operator/cooling for).
+	ActGroupCap = "cap_grp"
 	// ActPlacement is a VM's host assignment (the VMC knob).
 	ActPlacement = "placement"
 	// ActPower is a server's on/off state (1 = on, 0 = off).

@@ -38,6 +38,16 @@ type Traceable interface {
 	SetTracer(obs.Tracer)
 }
 
+// MetricsAware is implemented by controllers that publish their own gauges
+// into the engine's registry (e.g. the FM's np_facility_* series). The
+// engine injects Metrics before the first tick of a run — nil when no
+// registry is attached, which must detach the handles. Gauge writes mirror
+// values the controller computes anyway, so implementations stay bitwise
+// transparent: metrics-on and metrics-off runs produce identical results.
+type MetricsAware interface {
+	SetMetrics(*obs.Registry)
+}
+
 // ShardTicker is implemented by controllers whose per-epoch work decomposes
 // over the cluster's fixed unit partition — the per-server controllers (EC,
 // VMEC), whose state is strictly per-server. When the engine runs with
@@ -197,6 +207,11 @@ func (e *Engine) wireObservability() {
 			if tc, ok := c.(Traceable); ok {
 				tc.SetTracer(e.Tracer)
 			}
+		}
+	}
+	for _, c := range e.Controllers {
+		if mc, ok := c.(MetricsAware); ok {
+			mc.SetMetrics(e.Metrics)
 		}
 	}
 	if e.Metrics == nil {

@@ -1,0 +1,212 @@
+package tracegen
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nopower/internal/trace"
+)
+
+func TestAIBurstDeterministic(t *testing.T) {
+	a, err := GenerateAIBurst(8, Params{Ticks: 600, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateAIBurst(8, Params{Ticks: 600, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Traces {
+		for k := range a.Traces[i].Demand {
+			if math.Float64bits(a.Traces[i].Demand[k]) != math.Float64bits(b.Traces[i].Demand[k]) {
+				t.Fatalf("trace %d tick %d differs across identical seeds", i, k)
+			}
+		}
+	}
+	c, _ := GenerateAIBurst(8, Params{Ticks: 600, Seed: 43})
+	same := true
+	for k := range a.Traces[0].Demand {
+		if a.Traces[0].Demand[k] != c.Traces[0].Demand[k] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical AI-burst traces")
+	}
+}
+
+// The square wave has exactly two plateaus — compute near 0.95, stall near
+// 0.20, each within the ±3 % amplitude jitter — and compute dominates.
+func TestAIBurstStepMagnitudes(t *testing.T) {
+	set, err := GenerateAIBurst(12, Params{Ticks: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	high := 0
+	for _, tr := range set.Traces {
+		if tr.Class != aiClassName {
+			t.Fatalf("%s: class %q, want %q", tr.Name, tr.Class, aiClassName)
+		}
+		for k, d := range tr.Demand {
+			switch {
+			case d >= aiComputeLevel*0.97 && d <= aiComputeLevel*1.03:
+				high++
+			case d >= aiStallLevel*0.97 && d <= aiStallLevel*1.03:
+			default:
+				t.Fatalf("%s tick %d: demand %v on neither plateau", tr.Name, k, d)
+			}
+		}
+	}
+	total := len(set.Traces) * 2000
+	if frac := float64(high) / float64(total); frac < 0.75 || frac > 0.97 {
+		t.Errorf("compute fraction %.3f outside the 30–60-on / 3–8-off duty cycle", frac)
+	}
+}
+
+// Interior phase lengths obey the schedule: compute runs of 30–60 ticks,
+// stalls of 3–8 (the leading run may be stretched by the ≤ 2-tick offset, the
+// trailing one truncated — both are skipped).
+func TestAIBurstPhasePeriods(t *testing.T) {
+	set, err := GenerateAIBurst(6, Params{Ticks: 3000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (aiComputeLevel + aiStallLevel) / 2
+	for _, tr := range set.Traces {
+		type run struct {
+			high bool
+			n    int
+		}
+		var runs []run
+		for _, d := range tr.Demand {
+			h := d > mid
+			if len(runs) == 0 || runs[len(runs)-1].high != h {
+				runs = append(runs, run{high: h})
+			}
+			runs[len(runs)-1].n++
+		}
+		if len(runs) < 10 {
+			t.Fatalf("%s: only %d phases in 3000 ticks", tr.Name, len(runs))
+		}
+		for i, r := range runs[1 : len(runs)-1] {
+			if r.high && (r.n < 30 || r.n > 60) {
+				t.Errorf("%s phase %d: compute run of %d ticks outside [30, 60]", tr.Name, i+1, r.n)
+			}
+			if !r.high && (r.n < 3 || r.n > 8) {
+				t.Errorf("%s phase %d: stall run of %d ticks outside [3, 8]", tr.Name, i+1, r.n)
+			}
+		}
+	}
+}
+
+// The fleet steps together: away from phase edges (> 4 ticks, covering the
+// maximum 2-tick offset each way) every trace is in the same phase — the
+// synchronized facility-scale swing the trace class exists to model.
+func TestAIBurstSynchronized(t *testing.T) {
+	set, err := GenerateAIBurst(20, Params{Ticks: 1500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := (aiComputeLevel + aiStallLevel) / 2
+	bin := make([][]bool, len(set.Traces))
+	for i, tr := range set.Traces {
+		bin[i] = make([]bool, len(tr.Demand))
+		for k, d := range tr.Demand {
+			bin[i][k] = d > mid
+		}
+	}
+	ref := bin[0]
+	farFromEdge := func(k int) bool {
+		for d := -4; d <= 4; d++ {
+			j := k + d
+			if j < 0 || j >= len(ref) {
+				return false
+			}
+			if ref[j] != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	checked := 0
+	for k := range ref {
+		if !farFromEdge(k) {
+			continue
+		}
+		checked++
+		for i := range bin {
+			if bin[i][k] != ref[k] {
+				t.Fatalf("trace %d tick %d: phase %v, fleet phase %v", i, k, bin[i][k], ref[k])
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d interior ticks checked", checked)
+	}
+}
+
+func TestAIBurstMixNames(t *testing.T) {
+	set, err := BuildMix(MixAIBurst, 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 60 {
+		t.Errorf("canonical aiburst mix has %d traces, want 60", set.Len())
+	}
+	sized, err := BuildMix(AIBurstMix(12), 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized.Len() != 12 {
+		t.Errorf("aiburst12 has %d traces, want 12", sized.Len())
+	}
+	if _, err := BuildMix(Mix("aiburst0"), 300, 42); err == nil {
+		t.Error("aiburst0 accepted")
+	}
+	if _, err := GenerateAIBurst(0, Params{Ticks: 10}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := GenerateAIBurst(3, Params{Ticks: 0}); err == nil {
+		t.Error("ticks=0 accepted")
+	}
+}
+
+// The committed golden CSV pins the generator's exact output for one small
+// configuration: any change to the schedule derivation, the jitter draw
+// order, or the CSV encoding shows up as a byte diff. Regenerate with
+// GOLDEN_REGEN=1 only for a deliberate, documented format change.
+func TestAIBurstGoldenCSV(t *testing.T) {
+	set, err := GenerateAIBurst(4, Params{Ticks: 48, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, set); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "aiburst_golden.csv")
+	if os.Getenv("GOLDEN_REGEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with GOLDEN_REGEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("AI-burst CSV drifted from the committed golden (%d vs %d bytes)", buf.Len(), len(want))
+	}
+}

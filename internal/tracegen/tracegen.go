@@ -180,6 +180,72 @@ func one(name string, cls Class, p Params, rng *rand.Rand) *trace.Trace {
 	return tr
 }
 
+// AI-burst generation (WDPC-style): synchronized data-parallel training.
+// Unlike the enterprise classes, where each trace evolves independently, an
+// AI training fleet moves in lockstep — every accelerator group runs the
+// same compute/all-reduce/checkpoint loop, so the whole mix swings between
+// near-peak draw and a shallow stall within a few ticks. That synchronized
+// step is the facility-stressing behavior the WDPC spec (SNIPPETS.md
+// snippet 3) documents, and exactly the workload the facility manager's
+// feed/cooling budget loop exists to absorb.
+const (
+	// aiComputeLevel is the demand during a compute phase — close to peak.
+	aiComputeLevel = 0.95
+	// aiStallLevel is the demand during an all-reduce/checkpoint stall.
+	aiStallLevel = 0.20
+	// aiClassName labels generated AI-burst traces.
+	aiClassName = "aitrain"
+)
+
+// GenerateAIBurst produces n synchronized AI-training traces: one global
+// square-wave schedule (compute phases of 30–60 ticks at ~0.95, stalls of
+// 3–8 ticks at ~0.20) shared by every trace, with a per-trace start offset
+// of 0–2 ticks (the step spans "a few ticks" fleet-wide, not one) and a
+// small per-trace amplitude jitter. Driven entirely by the seeded source,
+// so the schedule is reproducible bit-for-bit from (n, ticks, seed).
+func GenerateAIBurst(n int, p Params) (*trace.Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tracegen: n = %d", n)
+	}
+	if p.Ticks <= 0 {
+		return nil, fmt.Errorf("tracegen: ticks = %d", p.Ticks)
+	}
+	if p.Level <= 0 {
+		p.Level = 1.0
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	// The shared schedule first, so every trace sees the same phase edges.
+	sched := make([]float64, p.Ticks)
+	for k, high := 0, true; k < p.Ticks; high = !high {
+		span := 3 + rng.Intn(6) // stall: 3–8 ticks
+		lvl := aiStallLevel
+		if high {
+			span = 30 + rng.Intn(31) // compute: 30–60 ticks
+			lvl = aiComputeLevel
+		}
+		for i := 0; i < span && k < p.Ticks; i++ {
+			sched[k] = lvl
+			k++
+		}
+	}
+	set := &trace.Set{Name: fmt.Sprintf("aiburst-%d", n)}
+	for i := 0; i < n; i++ {
+		offset := rng.Intn(3)               // the fleet steps within ~3 ticks
+		amp := 1 + 0.06*(rng.Float64()-0.5) // ±3 % group-to-group spread
+		tr := &trace.Trace{Name: fmt.Sprintf("%s-%03d", aiClassName, i), Class: aiClassName,
+			Demand: make([]float64, p.Ticks)}
+		for k := 0; k < p.Ticks; k++ {
+			src := k - offset
+			if src < 0 {
+				src = 0
+			}
+			tr.Demand[k] = sched[src] * amp * p.Level
+		}
+		set.Traces = append(set.Traces, tr)
+	}
+	return set, nil
+}
+
 // Mix names the canonical workload mixes of the evaluation (§4.3).
 type Mix string
 
@@ -203,13 +269,29 @@ func AllMixes() []Mix {
 // population. Used by the E17 scale experiment and BenchmarkScale10k.
 func ScaleMix(n int) Mix { return Mix(fmt.Sprintf("scale%d", n)) }
 
+// MixAIBurst is the canonical 60-trace AI-training mix (see GenerateAIBurst).
+const MixAIBurst Mix = "aiburst"
+
+// AIBurstMix names an AI-training mix of n synchronized workloads.
+func AIBurstMix(n int) Mix { return Mix(fmt.Sprintf("aiburst%d", n)) }
+
 // scaleMixSize parses a ScaleMix name; ok is false for the canonical mixes.
 func scaleMixSize(mix Mix) (n int, ok bool) {
+	return sizedMix(mix, "scale%d")
+}
+
+// aiBurstMixSize parses an AIBurstMix name (not the bare "aiburst").
+func aiBurstMixSize(mix Mix) (n int, ok bool) {
+	return sizedMix(mix, "aiburst%d")
+}
+
+// sizedMix parses a "<prefix><n>" mix name against its format string.
+func sizedMix(mix Mix, format string) (n int, ok bool) {
 	var parsed int
-	if _, err := fmt.Sscanf(string(mix), "scale%d", &parsed); err != nil || parsed <= 0 {
+	if _, err := fmt.Sscanf(string(mix), format, &parsed); err != nil || parsed <= 0 {
 		return 0, false
 	}
-	if string(mix) != fmt.Sprintf("scale%d", parsed) {
+	if string(mix) != fmt.Sprintf(format, parsed) {
 		return 0, false
 	}
 	return parsed, true
@@ -246,6 +328,13 @@ func BuildMix(mix Mix, ticks int, seed int64) (*trace.Set, error) {
 		return named(mix, set, err)
 	case Mix60HHH:
 		set, err := Generate(60, Params{Ticks: ticks, Seed: seed, Level: 0.85, Stack: 3})
+		return named(mix, set, err)
+	case MixAIBurst:
+		set, err := GenerateAIBurst(60, Params{Ticks: ticks, Seed: seed})
+		return named(mix, set, err)
+	}
+	if n, ok := aiBurstMixSize(mix); ok {
+		set, err := GenerateAIBurst(n, Params{Ticks: ticks, Seed: seed})
 		return named(mix, set, err)
 	}
 	if n, ok := scaleMixSize(mix); ok {

@@ -19,7 +19,7 @@ BENCH_DIR         ?= bench
 BENCH_MAX_REGRESS ?= 2.0
 BENCH_BASELINE    ?= $(lastword $(sort $(wildcard $(BENCH_DIR)/BENCH_*.json)))
 
-.PHONY: all build test race bench bench-json bench-serve check fmt vet cover soak verify lint serve-smoke facility-smoke
+.PHONY: all build test race bench bench-json bench-serve check fmt vet cover soak verify lint serve-smoke facility-smoke profiles-smoke
 
 all: check
 
@@ -55,6 +55,7 @@ verify: lint
 	rm -f $$tmp
 	$(MAKE) serve-smoke
 	$(MAKE) facility-smoke
+	$(MAKE) profiles-smoke
 
 # serve-smoke boots the real npserved binary on a free port, submits a
 # small job over HTTP, long-polls the result, and asserts it is bitwise
@@ -71,23 +72,41 @@ serve-smoke:
 facility-smoke:
 	$(GO) test -count=1 -run 'TestFacilityIdentity' ./internal/experiments
 
+# profiles-smoke validates the host-profile registry (every registered
+# calibration passes Model.Validate and spans the idle/P-state spectrum)
+# and runs E22 at reduced scale: on every heterogeneous fleet mix the
+# sharded run and the kill-and-resume run must reproduce the serial run
+# bitwise, per-profile decomposition included.
+profiles-smoke:
+	$(GO) test -count=1 -run 'TestRegistry|TestLookup|TestFrozenGuard' ./internal/model
+	$(GO) test -count=1 -run 'TestHeteroIdentity' ./internal/experiments
+
 # bench-serve is the E20 daemon load benchmark: 500 jobs over 8 distinct
 # specs per iteration against an in-memory server, reporting p50/p99
 # submit-to-done latency as custom metrics (see EXPERIMENTS.md E20).
 bench-serve:
 	$(GO) test -run '^$$' -bench 'BenchmarkServeLoad' -benchtime 5x -count=1 ./internal/serve
 
-# lint enforces the columnar-store API boundary: the per-server struct
-# (cluster.Server) and the struct slice (cl.Servers) were removed in the
-# struct-of-arrays redesign, and nothing outside internal/cluster may grow
-# them back or poke columns directly. The wire-format cluster.ServerState
-# (checkpoints) is explicitly allowed.
+# lint enforces two API boundaries. (1) The columnar store: the per-server
+# struct (cluster.Server) and the struct slice (cl.Servers) were removed in
+# the struct-of-arrays redesign, and nothing outside internal/cluster may
+# grow them back or poke columns directly. The wire-format
+# cluster.ServerState (checkpoints) is explicitly allowed. (2) The model
+# registry: model.ByName is a deprecated nil-returning shim kept for source
+# compatibility — every caller outside internal/model must use
+# model.Lookup, which returns an error naming the known profiles.
 lint:
 	@bad=$$(grep -rn --include='*.go' --exclude-dir=.git -E \
 		'cluster\.Server([^A-Za-z0-9_]|$$)|\bcl\.Servers\b' . \
 		| grep -v '^\./internal/cluster/' | grep -v 'cluster\.ServerState' || true); \
 	if [ -n "$$bad" ]; then \
 		echo "removed cluster.Server API referenced outside internal/cluster:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@bad=$$(grep -rn --include='*.go' --exclude-dir=.git -E 'model\.ByName\(' . \
+		| grep -v '^\./internal/model/' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "deprecated model.ByName used outside internal/model (use model.Lookup):"; \
 		echo "$$bad"; exit 1; \
 	fi
 

@@ -12,6 +12,7 @@
 //	npsim -checkpoint-dir ckpt -resume                     # continue it
 //	npsim -shards 8 -timeline run.json                     # phase timeline (Perfetto)
 //	npsim -facility -mix aiburst -series fac.csv           # facility co-simulation + PUE
+//	npsim -profiles arm-microblade:3,serverb:1 -mix hetero # heterogeneous fleet
 //
 // Stacks: coordinated, uncoordinated, novmc, vmconly, apprutil, nofeedback,
 // nobudgets, vmlevel, energydelay, slo, facility, none.
@@ -30,6 +31,7 @@ import (
 	"nopower/internal/core"
 	"nopower/internal/experiments"
 	"nopower/internal/metrics"
+	"nopower/internal/model"
 	"nopower/internal/obs"
 	"nopower/internal/obs/prof"
 	"nopower/internal/runner"
@@ -47,7 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("npsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		modelName = fs.String("model", "BladeA", "hardware model: BladeA or ServerB")
+		modelName = fs.String("model", "BladeA", "hardware profile from the registry ("+strings.Join(model.Names(), ", ")+")")
+		profiles  = fs.String("profiles", "", "heterogeneous fleet distribution, e.g. bladea:3,rack-2u-32:1 (overrides -model)")
 		mix       = fs.String("mix", "180", "workload mix: 180, 60L, 60M, 60H, 60HH, 60HHH, aiburst")
 		stack     = fs.String("stack", "coordinated", "controller stack preset")
 		ticks     = fs.Int("ticks", experiments.DefaultTicks, "simulation length in ticks")
@@ -103,8 +106,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spec.FacilityFeedW = *feedW
 	}
 
+	if *profiles != "" {
+		modelSet := false
+		fs.Visit(func(f *flag.Flag) { modelSet = modelSet || f.Name == "model" })
+		if modelSet {
+			fmt.Fprintln(stderr, "-model and -profiles are mutually exclusive")
+			return 2
+		}
+		// Canonicalize the spelling now so checkpoint labels (and resume
+		// validation) don't depend on aliases or case.
+		d, err := model.ParseDistribution(*profiles)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		*profiles, *modelName = d.String(), ""
+	}
+
 	sc := experiments.Scenario{
 		Model:          *modelName,
+		Profiles:       *profiles,
 		Mix:            tracegen.Mix(*mix),
 		Budgets:        experiments.Budgets{Grp: *budGrp, Enc: *budEnc, Loc: *budLoc},
 		Ticks:          *ticks,
@@ -179,7 +200,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// resume: resuming under different settings would not be a continuation,
 	// it would be a silently different simulation.
 	labels := map[string]string{
-		"model": *modelName, "mix": *mix, "ticks": fmt.Sprint(*ticks),
+		"model": *modelName, "profiles": *profiles, "mix": *mix, "ticks": fmt.Sprint(*ticks),
 		"seed": fmt.Sprint(*seed), "stack": *stack, "policy": *pol,
 		"chaos": *chaosCase, "series-stride": fmt.Sprint(*stride),
 		"facility": fmt.Sprint(spec.EnableFacility),
@@ -298,8 +319,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *verbose {
-		fmt.Fprintf(stdout, "scenario: model=%s mix=%s budgets=%s ticks=%d seed=%d stack=%s policy=%s\n",
-			*modelName, *mix, sc.Budgets.Label(), *ticks, *seed, *stack, *pol)
+		hw := "model=" + *modelName
+		if *profiles != "" {
+			hw = "profiles=" + *profiles
+		}
+		fmt.Fprintf(stdout, "scenario: %s mix=%s budgets=%s ticks=%d seed=%d stack=%s policy=%s\n",
+			hw, *mix, sc.Budgets.Label(), *ticks, *seed, *stack, *pol)
 		if *chaosCase != "" {
 			fmt.Fprintf(stdout, "chaos: %s (fault policy %s)\n", *chaosCase, policy)
 		} else {

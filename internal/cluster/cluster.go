@@ -58,6 +58,14 @@ type Config struct {
 	// Model is the hardware calibration for every server (homogeneous
 	// clusters; use SetModel afterwards for heterogeneous setups).
 	Model *model.Model
+	// Models optionally assigns a per-server calibration, indexed by server
+	// ID in construction order (enclosure blades first, then standalone) —
+	// the heterogeneous-fleet path, typically produced by
+	// model.Distribution.Models. When set its length must equal the fleet
+	// size; nil entries fall back to Model. Servers sharing a profile should
+	// share the *model.Model instance (Distribution.Models guarantees this)
+	// so the plant's same-model pointer hoist keeps paying off.
+	Models []*model.Model
 	// CapOffGrp, CapOffEnc, CapOffLoc are the budget headrooms: budgets are
 	// (1-off) of the level's maximum draw. The paper's base is 20-15-10 =
 	// 0.20/0.15/0.10.
@@ -251,11 +259,13 @@ func reduceTree(ps []unitPartial) unitPartial {
 // New builds a cluster and places the workloads one-per-server in order
 // (the paper's initial deployment: 180 workloads on 180 servers).
 func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
-	if cfg.Model == nil {
+	if cfg.Model == nil && cfg.Models == nil {
 		return nil, fmt.Errorf("cluster: nil model")
 	}
-	if err := cfg.Model.Validate(); err != nil {
-		return nil, fmt.Errorf("cluster: %w", err)
+	if cfg.Model != nil {
+		if err := cfg.Model.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
 	}
 	if cfg.Enclosures < 0 || cfg.BladesPerEnclosure < 0 || cfg.Standalone < 0 {
 		return nil, fmt.Errorf("cluster: negative topology parameters")
@@ -263,6 +273,27 @@ func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
 	n := cfg.Enclosures*cfg.BladesPerEnclosure + cfg.Standalone
 	if n == 0 {
 		return nil, fmt.Errorf("cluster: no servers")
+	}
+	if cfg.Models != nil {
+		if len(cfg.Models) != n {
+			return nil, fmt.Errorf("cluster: %d per-server models for %d servers", len(cfg.Models), n)
+		}
+		validated := map[*model.Model]bool{}
+		for i, m := range cfg.Models {
+			if m == nil {
+				if cfg.Model == nil {
+					return nil, fmt.Errorf("cluster: per-server model %d is nil and no default Model set", i)
+				}
+				continue
+			}
+			if validated[m] {
+				continue
+			}
+			if err := m.Validate(); err != nil {
+				return nil, fmt.Errorf("cluster: server %d: %w", i, err)
+			}
+			validated[m] = true
+		}
 	}
 	if workloads == nil || workloads.Len() == 0 {
 		return nil, fmt.Errorf("cluster: no workloads")
@@ -295,7 +326,7 @@ func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
 		for b := 0; b < cfg.BladesPerEnclosure; b++ {
 			c.on[id] = true
 			c.dirty[id] = true
-			c.model[id] = cfg.Model
+			c.model[id] = cfg.modelFor(id)
 			c.encOf[id] = e
 			enc.Servers = append(enc.Servers, id)
 			id++
@@ -305,7 +336,7 @@ func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
 	for s := 0; s < cfg.Standalone; s++ {
 		c.on[id] = true
 		c.dirty[id] = true
-		c.model[id] = cfg.Model
+		c.model[id] = cfg.modelFor(id)
 		c.encOf[id] = -1
 		id++
 	}
@@ -325,6 +356,15 @@ func New(cfg Config, workloads *trace.Set) (*Cluster, error) {
 		c.srvVMs[i] = arena[i : i+1 : i+1]
 	}
 	return c, nil
+}
+
+// modelFor resolves server id's construction-time calibration: the
+// per-server entry when one is set, the homogeneous default otherwise.
+func (cfg *Config) modelFor(id int) *model.Model {
+	if cfg.Models != nil && cfg.Models[id] != nil {
+		return cfg.Models[id]
+	}
+	return cfg.Model
 }
 
 // NumServers returns the fleet size.

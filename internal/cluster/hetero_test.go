@@ -1,0 +1,207 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"nopower/internal/model"
+)
+
+// mixedCfg builds the small 1-enclosure + 2-standalone topology with a
+// three-profile interleaved fleet.
+func mixedCfg(t *testing.T) Config {
+	t.Helper()
+	d, err := model.ParseDistribution("bladea:3,serverb:2,rack-2u-32:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	models, err := d.Models(cfg.Enclosures*cfg.BladesPerEnclosure + cfg.Standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Model = nil
+	cfg.Models = models
+	return cfg
+}
+
+func TestMixedFleetBudgetsAndMaxPower(t *testing.T) {
+	cfg := mixedCfg(t)
+	c := mustNew(t, cfg, smallSet(6, 0.3))
+	// Per-server budgets track each server's own calibration.
+	profiles := map[string]int{}
+	sumMax := 0.0
+	for i := 0; i < c.NumServers(); i++ {
+		m := c.ServerModel(i)
+		profiles[m.Name]++
+		sumMax += m.MaxPower()
+		want := (1 - cfg.CapOffLoc) * m.MaxPower()
+		if math.Abs(c.StaticCap(i)-want) > 1e-9 {
+			t.Errorf("server %d (%s) cap = %v, want %v", i, m.Name, c.StaticCap(i), want)
+		}
+	}
+	if len(profiles) != 3 {
+		t.Fatalf("fleet has %d distinct profiles, want 3: %v", len(profiles), profiles)
+	}
+	if math.Abs(c.MaxGroupPower()-sumMax) > 1e-9 {
+		t.Errorf("MaxGroupPower = %v, want %v", c.MaxGroupPower(), sumMax)
+	}
+	if want := (1 - cfg.CapOffGrp) * sumMax; math.Abs(c.StaticCapGrp-want) > 1e-9 {
+		t.Errorf("StaticCapGrp = %v, want %v", c.StaticCapGrp, want)
+	}
+	encMax := 0.0
+	for _, sid := range c.Enclosures[0].Servers {
+		encMax += c.ServerModel(sid).MaxPower()
+	}
+	if want := (1 - cfg.CapOffEnc) * encMax; math.Abs(c.Enclosures[0].StaticCap-want) > 1e-9 {
+		t.Errorf("enclosure cap = %v, want %v", c.Enclosures[0].StaticCap, want)
+	}
+	// The enclosure genuinely mixes profiles (interleave, not blocks).
+	encProfiles := map[string]bool{}
+	for _, sid := range c.Enclosures[0].Servers {
+		encProfiles[c.ServerModel(sid).Name] = true
+	}
+	if len(encProfiles) < 2 {
+		t.Fatalf("enclosure is homogeneous: %v", encProfiles)
+	}
+}
+
+func TestMixedFleetStatsConsistent(t *testing.T) {
+	c := mustNew(t, mixedCfg(t), smallSet(6, 0.5))
+	c.Advance(0)
+	st := c.Stats()
+	sum := 0.0
+	for i := 0; i < c.NumServers(); i++ {
+		sum += c.Power(i)
+		// Each server's draw is its OWN model's prediction.
+		want := c.ServerModel(i).Power(c.PState(i), c.Util(i))
+		if math.Float64bits(c.Power(i)) != math.Float64bits(want) {
+			t.Errorf("server %d power %v != model prediction %v", i, c.Power(i), want)
+		}
+	}
+	if math.Abs(st.GroupPower-sum) > 1e-9 {
+		t.Errorf("GroupPower %v != per-server sum %v", st.GroupPower, sum)
+	}
+	if st.ServersOn != 6 {
+		t.Errorf("ServersOn = %d", st.ServersOn)
+	}
+}
+
+func TestNewRejectsBadModelsSlice(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Models = make([]*model.Model, 3) // wrong length
+	if _, err := New(cfg, smallSet(2, 0.1)); err == nil {
+		t.Error("wrong-length Models accepted")
+	}
+	cfg = smallCfg()
+	cfg.Model = nil
+	cfg.Models = make([]*model.Model, 6) // all nil, no default
+	if _, err := New(cfg, smallSet(2, 0.1)); err == nil {
+		t.Error("nil Models entries without default accepted")
+	}
+	cfg = smallCfg()
+	cfg.Models = make([]*model.Model, 6)
+	cfg.Models[2] = &model.Model{Name: "bad"} // fails Validate
+	if _, err := New(cfg, smallSet(2, 0.1)); err == nil {
+		t.Error("invalid per-server model accepted")
+	}
+	// nil entries fall back to the default Model.
+	cfg = smallCfg()
+	cfg.Models = make([]*model.Model, 6)
+	cfg.Models[0] = model.ServerB()
+	c := mustNew(t, cfg, smallSet(2, 0.1))
+	if c.ServerModel(0).Name != "ServerB" || c.ServerModel(1).Name != "BladeA" {
+		t.Errorf("models = %s, %s", c.ServerModel(0).Name, c.ServerModel(1).Name)
+	}
+}
+
+// TestMixedFleetStateRoundTrip is the checkpoint golden-replay invariant on
+// a heterogeneous fleet, including a mid-run SetModel swap: capture at tick
+// k, rebuild from the same config, restore, and every subsequent tick must
+// be Float64bits-identical to the uninterrupted run.
+func TestMixedFleetStateRoundTrip(t *testing.T) {
+	cfg := mixedCfg(t)
+	build := func() *Cluster { return mustNew(t, cfg, smallSet(6, 0.4)) }
+
+	ref := build()
+	for k := 0; k < 10; k++ {
+		ref.Advance(k)
+	}
+	// Mid-run hardware swap: server 1 is replaced with a registry profile.
+	if err := ref.SetModel(1, mustLookup(t, "legacy-high-idle")); err != nil {
+		t.Fatal(err)
+	}
+	for k := 10; k < 20; k++ {
+		ref.Advance(k)
+	}
+	snap := ref.State()
+	if snap.Servers[1].Model != "LegacyHighIdle" {
+		t.Fatalf("snapshot model = %q, want LegacyHighIdle", snap.Servers[1].Model)
+	}
+
+	resumed := build()
+	if err := resumed.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ServerModel(1).Name != "LegacyHighIdle" {
+		t.Fatalf("restore kept model %q", resumed.ServerModel(1).Name)
+	}
+	for k := 20; k < 40; k++ {
+		ref.Advance(k)
+		resumed.Advance(k)
+		for i := 0; i < ref.NumServers(); i++ {
+			if math.Float64bits(ref.Power(i)) != math.Float64bits(resumed.Power(i)) {
+				t.Fatalf("tick %d server %d: power %v != %v", k, i, ref.Power(i), resumed.Power(i))
+			}
+		}
+		a, b := ref.Stats(), resumed.Stats()
+		if math.Float64bits(a.GroupPower) != math.Float64bits(b.GroupPower) ||
+			a.ViolSM != b.ViolSM || a.ViolEM != b.ViolEM {
+			t.Fatalf("tick %d stats diverge: %+v vs %+v", k, a, b)
+		}
+	}
+}
+
+func TestRestoreRejectsBadModelState(t *testing.T) {
+	c := mustNew(t, mixedCfg(t), smallSet(6, 0.4))
+	c.Advance(0)
+	snap := c.State()
+
+	bad := snap
+	bad.Servers = append([]ServerState(nil), snap.Servers...)
+	bad.Servers[0].Model = "NoSuchProfile"
+	if err := mustNew(t, mixedCfg(t), smallSet(6, 0.4)).RestoreState(bad); err == nil {
+		t.Error("unknown model name accepted on restore")
+	}
+
+	bad.Servers = append([]ServerState(nil), snap.Servers...)
+	bad.Servers[0].Model = "LegacyHighIdle" // 4 states
+	bad.Servers[0].PState = 9
+	if err := mustNew(t, mixedCfg(t), smallSet(6, 0.4)).RestoreState(bad); err == nil {
+		t.Error("out-of-range pstate for swapped model accepted on restore")
+	}
+
+	// "" is the pre-field sentinel: keep the rebuilt cluster's model.
+	bad.Servers = append([]ServerState(nil), snap.Servers...)
+	for i := range bad.Servers {
+		bad.Servers[i].Model = ""
+	}
+	fresh := mustNew(t, mixedCfg(t), smallSet(6, 0.4))
+	if err := fresh.RestoreState(bad); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fresh.NumServers(); i++ {
+		if fresh.ServerModel(i).Name != c.ServerModel(i).Name {
+			t.Errorf("server %d model changed under sentinel restore", i)
+		}
+	}
+}
+
+func mustLookup(t *testing.T, name string) *model.Model {
+	t.Helper()
+	m, err := model.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,15 +1,23 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"nopower/internal/model"
+)
 
 // This file is the plant's half of the checkpoint/restore subsystem
 // (DESIGN.md §10): State captures every field a running simulation mutates,
 // RestoreState reinstates them onto a cluster rebuilt by the same
-// construction path. Construction-time configuration — topology, models,
-// Cfg — is deliberately NOT captured: restore targets a cluster rebuilt
+// construction path. Construction-time configuration — topology, Cfg — is
+// deliberately NOT captured: restore targets a cluster rebuilt
 // deterministically from the same scenario, and only overlays the mutable
-// state on top. Trace demand is captured only when a runtime event
-// (sim.ScaleDemand) has mutated it in place; pristine demand is rebuilt.
+// state on top. Per-server model NAMES are the one exception: SetModel can
+// swap a calibration mid-run, so the snapshot records each server's model
+// name and restore re-resolves differing names through the profile registry
+// (see ServerState.Model). Trace demand is captured only when a runtime
+// event (sim.ScaleDemand) has mutated it in place; pristine demand is
+// rebuilt.
 
 // ServerState is the mutable per-server plant state.
 type ServerState struct {
@@ -24,6 +32,18 @@ type ServerState struct {
 	Power     float64
 	DemandSum float64
 	VMs       []int
+	// Model names the server's calibration at capture time, but ONLY when a
+	// mid-run SetModel swap moved it off the construction model — before
+	// this field a resumed run silently kept the construction model. The
+	// common unswapped case captures "" — the "keep the rebuilt cluster's
+	// model" sentinel (the FacilityCapGrp pattern) — which keeps snapshots
+	// small, makes State/RestoreState round-trip byte-identically across
+	// the field's introduction, and lets checkpoints from before the field
+	// (which decode it as "") restore bit-identically. Restore resolves
+	// non-"" names via the profile registry; a non-registry derived model
+	// (Pick's "BladeA/3states") swapped in mid-run fails the restore
+	// loudly, which beats silently resuming on the wrong hardware.
+	Model string
 }
 
 // EnclosureState is the mutable per-enclosure plant state.
@@ -84,6 +104,9 @@ func (c *Cluster) State() State {
 			Util: c.util[i], RealUtil: c.realUtil[i], Power: c.power[i], DemandSum: c.demandSum[i],
 			VMs: append([]int(nil), c.srvVMs[i]...),
 		}
+		if name := c.model[i].Name; name != c.Cfg.modelFor(i).Name {
+			st.Servers[i].Model = name
+		}
 	}
 	for i, e := range c.Enclosures {
 		st.Enclosures[i] = EnclosureState{StaticCap: e.StaticCap, DynCap: e.DynCap, Power: e.Power}
@@ -121,7 +144,38 @@ func (c *Cluster) RestoreState(st State) error {
 			}
 		}
 	}
+	// Resolve model swaps before mutating anything, so a bad snapshot
+	// cannot leave the cluster half-restored. "" (pre-field checkpoints)
+	// and a name matching the rebuilt cluster's model are no-ops; anything
+	// else must resolve in the profile registry. Lookup caches nothing
+	// across calls but servers restored to the same profile share one
+	// instance here, preserving the plant's same-model pointer hoist.
+	var swapped map[string]*model.Model
 	for i, ss := range st.Servers {
+		if ss.Model == "" || ss.Model == c.model[i].Name {
+			continue
+		}
+		m, ok := swapped[ss.Model]
+		if !ok {
+			var err error
+			m, err = model.Lookup(ss.Model)
+			if err != nil {
+				return fmt.Errorf("cluster: restore: server %d: %w", i, err)
+			}
+			if swapped == nil {
+				swapped = map[string]*model.Model{}
+			}
+			swapped[ss.Model] = m
+		}
+		if ss.PState < 0 || ss.PState >= m.NumPStates() {
+			return fmt.Errorf("cluster: restore: server %d pstate %d out of range for model %s (%d states)",
+				i, ss.PState, m.Name, m.NumPStates())
+		}
+	}
+	for i, ss := range st.Servers {
+		if ss.Model != "" && ss.Model != c.model[i].Name {
+			c.model[i] = swapped[ss.Model]
+		}
 		c.on[i], c.pstate[i] = ss.On, ss.PState
 		c.staticCap[i], c.dynCap[i] = ss.StaticCap, ss.DynCap
 		c.util[i], c.realUtil[i], c.power[i], c.demandSum[i] = ss.Util, ss.RealUtil, ss.Power, ss.DemandSum

@@ -98,8 +98,8 @@ func TestScenarioWithProvidedTraces(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 20 {
-		t.Fatalf("registry has %d experiments, want the DESIGN.md §4 set plus models, multiseed, extensions, cooling, chaos, replay, scale, scale100k, facility", len(names))
+	if len(names) != 21 {
+		t.Fatalf("registry has %d experiments, want the DESIGN.md §4 set plus models, multiseed, extensions, cooling, chaos, replay, scale, scale100k, facility, hetero", len(names))
 	}
 	for _, n := range names {
 		if Describe(n) == "" {

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestHeteroIdentity is the CI smoke for the heterogeneous-fleet determinism
+// contract at reduced scale: on every fleet mix, the sharded run and the
+// kill-and-resume run must both reproduce the serial run bitwise.
+func TestHeteroIdentity(t *testing.T) {
+	rows, err := HeteroData(context.Background(), Options{Ticks: 240, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows, want 3 fleets x 2 stacks", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s/%s: sharded run diverged from serial", r.Fleet, r.Stack)
+		}
+		if !r.ReplayIdentical {
+			t.Errorf("%s/%s: resumed run diverged from uninterrupted", r.Fleet, r.Stack)
+		}
+		if len(r.PerProfile) < 3 {
+			t.Errorf("%s/%s: %d profiles in decomposition, want >= 3", r.Fleet, r.Stack, len(r.PerProfile))
+		}
+		total := 0
+		for _, p := range r.PerProfile {
+			if p.BaselineW <= 0 {
+				t.Errorf("%s/%s/%s: no baseline decomposition", r.Fleet, r.Stack, p.Profile)
+			}
+			if p.AvgW <= 0 {
+				t.Errorf("%s/%s/%s: no managed draw recorded", r.Fleet, r.Stack, p.Profile)
+			}
+			total += p.Servers
+		}
+		if total != 60 {
+			t.Errorf("%s/%s: decomposition covers %d servers, want 60", r.Fleet, r.Stack, total)
+		}
+	}
+}
+
+// TestHeteroScenarioFailsFastOnTypo pins the bug-sweep behavior: an unknown
+// profile anywhere in the scenario surfaces the registry's known-name list
+// instead of a nil dereference.
+func TestHeteroScenarioFailsFastOnTypo(t *testing.T) {
+	sc := Scenario{Model: "BladeX", Mix: "60L", Budgets: Base201510(), Ticks: 50}
+	if _, err := sc.BuildCluster(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	sc = Scenario{Profiles: "bladea:2,typo-profile:1", Mix: "60L", Budgets: Base201510(), Ticks: 50}
+	if _, err := sc.BuildCluster(); err == nil {
+		t.Fatal("unknown profile in distribution accepted")
+	}
+	sc = Scenario{Profiles: "bladea:1", PStates: []int{0, 1}, Mix: "60L", Budgets: Base201510(), Ticks: 50}
+	if _, err := sc.BuildCluster(); err == nil {
+		t.Fatal("Profiles+PStates accepted")
+	}
+}

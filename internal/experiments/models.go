@@ -53,5 +53,31 @@ func Models(_ context.Context, opts Options) ([]*report.Table, error) {
 		p.AddRow(row[0], row[1])
 	}
 	tables = append(tables, p)
+
+	// The host-profile library: every registered calibration a scenario can
+	// name (Scenario.Model) or mix into a heterogeneous fleet
+	// (Scenario.Profiles). BladeA/ServerB are the paper's Fig. 5 pair above;
+	// the rest span the idle-fraction and control-range spectrum.
+	lib := &report.Table{
+		Title: "Host-profile registry — the fleet library beyond Fig. 5",
+		Note: "model.Lookup resolves these names (case-insensitive, plus hyphenated " +
+			"aliases); Scenario.Profiles mixes them, e.g. \"arm-microblade:3,serverb:1\". " +
+			"Idle fraction and dynamic range are the §5.1 'range of power control' axis.",
+		Header: []string{"Profile", "Cores", "P-states", "Freq (MHz)", "Max (W)",
+			"Idle (W)", "Idle frac", "Off (W)"},
+	}
+	for _, name := range model.Names() {
+		m, err := model.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		n := m.NumPStates()
+		lib.AddRow(m.Name, fmt.Sprintf("%d", m.Cores), fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f–%.0f", m.PStates[n-1].FreqMHz, m.PStates[0].FreqMHz),
+			report.F(m.MaxPower()), report.F(m.PStates[0].D),
+			fmt.Sprintf("%.0f%%", 100*m.PStates[0].D/m.MaxPower()),
+			report.F(m.OffWatts))
+	}
+	tables = append(tables, lib)
 	return tables, nil
 }

@@ -132,13 +132,14 @@ var registry = map[string]struct {
 	"scale":      {Scale, "10k-server fleet: sharded tick engine vs serial, bit-identical results (E17)"},
 	"scale100k":  {Scale100k, "100k-server fleet: columnar cluster store, serial vs sharded bit-identity (E18)"},
 	"facility":   {Facility, "facility co-simulation: UPS/PDU losses, weather-derated cooling, PUE, FM budget (E21)"},
+	"hetero":     {Hetero, "heterogeneous fleets: coordinated vs uncoordinated across three profile mixes (E22)"},
 }
 
 // Names lists the registered experiment IDs in DESIGN.md order.
 func Names() []string {
 	order := []string{"models", "fig7", "fig8", "fig9", "fig10", "pstates", "machineoff",
 		"migration", "timeconst", "policies", "failover", "stability", "multiseed",
-		"extensions", "cooling", "chaos", "replay", "scale", "scale100k", "facility"}
+		"extensions", "cooling", "chaos", "replay", "scale", "scale100k", "facility", "hetero"}
 	// Guard against drift between the slice and the map.
 	if len(order) != len(registry) {
 		keys := make([]string, 0, len(registry))
@@ -182,10 +183,11 @@ func RunExperiment(ctx context.Context, name string, opts ...Option) ([]*report.
 var baselineCache runner.Cache[baselineKey, float64]
 
 type baselineKey struct {
-	model string
-	mix   string
-	ticks int
-	seed  int64
+	model    string
+	profiles string
+	mix      string
+	ticks    int
+	seed     int64
 }
 
 // cachedBaseline computes (or reuses) the scenario's baseline average power.
@@ -194,7 +196,7 @@ type baselineKey struct {
 // context) finishes and settles the cache for everyone else.
 func cachedBaseline(ctx context.Context, sc Scenario) (float64, error) {
 	sc = sc.normalized()
-	key := baselineKey{sc.Model, string(sc.Mix), sc.Ticks, sc.Seed}
+	key := baselineKey{sc.Model, sc.Profiles, string(sc.Mix), sc.Ticks, sc.Seed}
 	return baselineCache.GetCtx(ctx, key, func() (float64, error) {
 		return BaselinePower(ctx, sc)
 	})

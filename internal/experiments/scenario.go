@@ -47,8 +47,16 @@ func (b Budgets) Label() string {
 
 // Scenario is one fully-specified simulation setup.
 type Scenario struct {
-	// Model names the hardware calibration ("BladeA" or "ServerB").
+	// Model names the hardware calibration — any profile in the
+	// model registry ("BladeA", "ServerB", "arm-microblade", ...).
 	Model string
+	// Profiles, when non-empty, describes a heterogeneous fleet as a
+	// model.Distribution spec ("arm-microblade:3,serverb:2,..."): servers
+	// are assigned profiles by deterministic weighted interleave, so every
+	// rebuild of the scenario (checkpoint resume, shard comparison) gets
+	// the identical fleet. Mutually exclusive with PStates; Model is
+	// ignored when set.
+	Profiles string
 	// Mix names the workload mix.
 	Mix tracegen.Mix
 	// Budgets is the power-budget configuration.
@@ -138,16 +146,6 @@ func TopologyFor(workloads int) (enclosures, bladesPer, standalone int) {
 // every call, so repeated runs are independent and reproducible).
 func (sc Scenario) BuildCluster() (*cluster.Cluster, error) {
 	sc = sc.normalized()
-	m := model.ByName(sc.Model)
-	if m == nil {
-		return nil, fmt.Errorf("experiments: unknown model %q", sc.Model)
-	}
-	if sc.PStates != nil {
-		var err error
-		if m, err = m.Pick(sc.PStates...); err != nil {
-			return nil, err
-		}
-	}
 	var set *trace.Set
 	if sc.Traces != nil {
 		set = &trace.Set{Name: sc.Traces.Name}
@@ -161,48 +159,56 @@ func (sc Scenario) BuildCluster() (*cluster.Cluster, error) {
 			return nil, err
 		}
 	}
-	enc, blades, standalone, err := topology(set.Len())
-	if err != nil {
-		return nil, err
-	}
-	return cluster.New(cluster.Config{
-		Enclosures:         enc,
-		BladesPerEnclosure: blades,
-		Standalone:         standalone,
-		Model:              m,
-		CapOffGrp:          sc.Budgets.Grp,
-		CapOffEnc:          sc.Budgets.Enc,
-		CapOffLoc:          sc.Budgets.Loc,
-		AlphaV:             sc.AlphaV,
-		AlphaM:             sc.AlphaM,
-		MigrationTicks:     sc.MigrationTicks,
-	}, set)
+	return sc.clusterFromSet(set)
 }
 
 // clusterFromSet builds the scenario cluster around a pre-built trace set
-// (used when a caller wants to inspect or perturb the traces).
+// (used when a caller wants to inspect or perturb the traces). This is the
+// single model-resolution choke point: every scenario path goes through
+// model.Lookup (or Distribution, which wraps it), so a typo'd profile name
+// fails fast with the list of known profiles instead of surfacing as a nil
+// dereference.
 func (sc Scenario) clusterFromSet(set *trace.Set) (*cluster.Cluster, error) {
 	sc = sc.normalized()
-	m := model.ByName(sc.Model)
-	if m == nil {
-		return nil, fmt.Errorf("experiments: unknown model %q", sc.Model)
-	}
 	enc, blades, standalone, err := topology(set.Len())
 	if err != nil {
 		return nil, err
 	}
-	return cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Enclosures:         enc,
 		BladesPerEnclosure: blades,
 		Standalone:         standalone,
-		Model:              m,
 		CapOffGrp:          sc.Budgets.Grp,
 		CapOffEnc:          sc.Budgets.Enc,
 		CapOffLoc:          sc.Budgets.Loc,
 		AlphaV:             sc.AlphaV,
 		AlphaM:             sc.AlphaM,
 		MigrationTicks:     sc.MigrationTicks,
-	}, set)
+	}
+	if sc.Profiles != "" {
+		if sc.PStates != nil {
+			return nil, fmt.Errorf("experiments: Profiles and PStates are mutually exclusive")
+		}
+		d, err := model.ParseDistribution(sc.Profiles)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if cfg.Models, err = d.Models(set.Len()); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	} else {
+		m, err := model.Lookup(sc.Model)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		if sc.PStates != nil {
+			if m, err = m.Pick(sc.PStates...); err != nil {
+				return nil, err
+			}
+		}
+		cfg.Model = m
+	}
+	return cluster.New(cfg, set)
 }
 
 // Run executes one (scenario, spec) pair against the scenario's baseline and
@@ -250,6 +256,12 @@ type Observers struct {
 	// this bundle because, like the attachments, it is a per-run engine knob
 	// orthogonal to what is being simulated.
 	FaultPolicy sim.FaultPolicy
+	// OnTick, when non-nil, is called after every advanced tick with the
+	// tick index and the plant — the general per-tick observation hook
+	// (e.g. E22's per-profile power accumulator). Chained after the series
+	// recorder and before Progress on the engine's single OnTick slot.
+	// Pure observation: it must not mutate anything the simulation reads.
+	OnTick func(k int, cl *cluster.Cluster)
 	// Progress, when non-nil, is called after every advanced tick with the
 	// count of ticks completed toward the scenario total — the hook a job
 	// server streams per-job progress from. On a resumed run the first call
@@ -292,6 +304,17 @@ func (o Observers) attach(eng *sim.Engine, totalTicks int) (int, error) {
 		// The recorder is run state: a resumed run must continue the series,
 		// not restart it, for the bitwise-replay contract to cover it.
 		eng.RegisterAux("series", o.Series)
+	}
+	if o.OnTick != nil {
+		// Chain behind the series recorder on the engine's single OnTick
+		// hook.
+		prev, hook := eng.OnTick, o.OnTick
+		eng.OnTick = func(k int, cl *cluster.Cluster) {
+			if prev != nil {
+				prev(k, cl)
+			}
+			hook(k, cl)
+		}
 	}
 	if o.Progress != nil {
 		// Chain behind the series recorder (when both are set) on the

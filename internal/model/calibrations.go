@@ -22,7 +22,8 @@ package model
 // Ladder: 1 GHz, 833, 700, 600, 533 MHz (paper §4.3).
 func BladeA() *Model {
 	return &Model{
-		Name: "BladeA",
+		Name:  "BladeA",
+		Cores: 2, // 2008-era low-power blade (informational)
 		PStates: []PState{
 			{FreqMHz: 1000, C: 40.0, D: 60.0}, // P0: 100 W max
 			{FreqMHz: 833, C: 33.0, D: 55.5},  // P1
@@ -38,7 +39,8 @@ func BladeA() *Model {
 // Ladder: 2.6, 2.4, 2.2, 2.0, 1.8, 1.0 GHz (paper §4.3).
 func ServerB() *Model {
 	return &Model{
-		Name: "ServerB",
+		Name:  "ServerB",
+		Cores: 4, // 2008-era entry-level 2U server (informational)
 		PStates: []PState{
 			{FreqMHz: 2600, C: 70.0, D: 180.0}, // P0: 250 W max
 			{FreqMHz: 2400, C: 64.0, D: 178.0}, // P1
@@ -51,14 +53,17 @@ func ServerB() *Model {
 	}
 }
 
-// ByName resolves a calibration by its name. It returns nil for unknown
-// names; callers decide whether that is an error.
+// ByName resolves a calibration by its name, returning nil for unknown
+// names.
+//
+// Deprecated: use Lookup, which resolves against the full profile registry
+// and returns an error naming the known profiles instead of a nil that every
+// caller must remember to check. ByName survives only for backward
+// compatibility and is banned outside this package by `make lint`.
 func ByName(name string) *Model {
-	switch name {
-	case "BladeA", "bladea", "blade-a", "A":
-		return BladeA()
-	case "ServerB", "serverb", "server-b", "B":
-		return ServerB()
+	m, err := Lookup(name)
+	if err != nil {
+		return nil
 	}
-	return nil
+	return m
 }

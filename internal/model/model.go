@@ -53,6 +53,10 @@ func (p PState) Max() float64 { return p.C + p.D }
 type Model struct {
 	// Name identifies the calibration ("BladeA", "ServerB", ...).
 	Name string
+	// Cores is the advertised core count of the machine (informational:
+	// utilization is a scalar fraction of the whole box, so cores never
+	// enter the power/performance math; profile tables report it).
+	Cores int
 	// PStates holds the operating points, P0 first (highest frequency).
 	PStates []PState
 	// OffWatts is the draw of a machine that the VMC has powered off.
@@ -63,11 +67,18 @@ type Model struct {
 	// from PStates: the values are the exact results of the same
 	// expressions, so cached and uncached models are bit-identical. The
 	// tables are only trusted while they match len(PStates) — mutating
-	// PStates after Validate requires calling Validate again.
+	// PStates after Validate requires calling Validate again; the hot-path
+	// accessors enforce that by panicking on a length mismatch (see tab)
+	// instead of silently recomputing from the mutated ladder.
 	freqs   []float64 // freqs[p] = PStates[p].FreqMHz
 	relFreq []float64 // relFreq[p] = PStates[p].FreqMHz / PStates[0].FreqMHz
 	powC    []float64 // powC[p] = PStates[p].C
 	powD    []float64 // powD[p] = PStates[p].D
+	// frozen records that freeze has run. Once frozen, a length mismatch
+	// between PStates and the tables is a caller bug (mutation without
+	// re-Validate) and the accessors panic loudly rather than serve stale
+	// or silently re-derived values.
+	frozen bool
 }
 
 // Validate checks the structural assumptions the controllers rely on:
@@ -116,6 +127,25 @@ func (m *Model) freeze() {
 		m.powC[i] = m.PStates[i].C
 		m.powD[i] = m.PStates[i].D
 	}
+	m.frozen = true
+}
+
+// tab ensures the frozen lookup tables match PStates before a hot-path
+// accessor uses them. A never-validated model (hand-built in a test, say) is
+// frozen lazily — the tables are pure functions of PStates, so lazy and
+// eager freezing are bit-identical. A model that WAS validated and whose
+// PStates were then mutated is a bug: the old code silently fell back to
+// re-deriving from PStates in some accessors but served stale tables in
+// others, so the same model answered inconsistently. Panic instead.
+func (m *Model) tab() {
+	if len(m.freqs) == len(m.PStates) {
+		return
+	}
+	if m.frozen {
+		panic(fmt.Sprintf("model %s: PStates mutated after Validate (%d states, tables frozen at %d); call Validate again",
+			m.Name, len(m.PStates), len(m.freqs)))
+	}
+	m.freeze()
 }
 
 // NumPStates returns the number of operating points.
@@ -137,20 +167,16 @@ func (m *Model) MinActivePower() float64 { return m.PStates[len(m.PStates)-1].D 
 
 // RelFreq returns a_p = f_p/f_0, the performance slope of P-state p.
 func (m *Model) RelFreq(p int) float64 {
-	if len(m.relFreq) == len(m.PStates) {
-		return m.relFreq[p]
-	}
-	return m.PStates[p].FreqMHz / m.PStates[0].FreqMHz
+	m.tab()
+	return m.relFreq[p]
 }
 
-// Power returns the draw at P-state p and utilization r.
+// Power returns the draw at P-state p and utilization r. Same coefficients,
+// same expression as PState.Power — the frozen columns only save the PState
+// struct copy per call.
 func (m *Model) Power(p int, r float64) float64 {
-	if len(m.powC) == len(m.PStates) {
-		// Same coefficients, same expression as PState.Power — frozen
-		// columns only save the PState struct copy per call.
-		return m.powC[p]*clamp01(r) + m.powD[p]
-	}
-	return m.PStates[p].Power(r)
+	m.tab()
+	return m.powC[p]*clamp01(r) + m.powD[p]
 }
 
 // Perf returns the work done per tick at P-state p and utilization r, as a
@@ -165,18 +191,10 @@ func (m *Model) Capacity(p int) float64 { return m.RelFreq(p) }
 // Quantize maps a desired frequency (MHz) to the index of the nearest
 // available P-state, the f -> f_q step in the paper's EC.
 func (m *Model) Quantize(freqMHz float64) int {
+	m.tab()
 	best, bestDist := 0, math.Inf(1)
-	if fs := m.freqs; len(fs) == len(m.PStates) {
-		for i, f := range fs {
-			if d := math.Abs(f - freqMHz); d < bestDist {
-				best, bestDist = i, d
-			}
-		}
-		return best
-	}
-	ps := m.PStates
-	for i := range ps {
-		if d := math.Abs(ps[i].FreqMHz - freqMHz); d < bestDist {
+	for i, f := range m.freqs {
+		if d := math.Abs(f - freqMHz); d < bestDist {
 			best, bestDist = i, d
 		}
 	}
@@ -302,7 +320,10 @@ func (m *Model) Pick(indices ...int) (*Model, error) {
 		return nil, fmt.Errorf("model %s: Pick must include P0", m.Name)
 	}
 	out := &Model{
+		// The derived name contains '/', which the registry refuses to
+		// register — reduced models can never shadow a catalog profile.
 		Name:     fmt.Sprintf("%s/%dstates", m.Name, len(sorted)),
+		Cores:    m.Cores,
 		OffWatts: m.OffWatts,
 	}
 	seen := -1

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The profile registry maps names (case-insensitively) to calibration
+// constructors. Every registered profile is validated at registration time,
+// so Lookup can only hand out models that pass Validate. Constructors return
+// fresh instances: callers own the model they get and may Pick/mutate it
+// without affecting later lookups.
+
+type regEntry struct {
+	canonical string
+	ctor      func() *Model
+}
+
+var reg = struct {
+	mu    sync.RWMutex
+	byKey map[string]regEntry // lower-cased name or alias -> entry
+	names []string            // canonical names, sorted, cached
+}{byKey: map[string]regEntry{}}
+
+// Register adds a calibration constructor to the registry under the name the
+// constructed model carries, plus any extra aliases. It rejects empty names,
+// names containing '/' (reserved for derived models such as Pick's
+// "BladeA/3states", which must never shadow a catalog profile), duplicate
+// keys, and constructors whose model fails Validate.
+func Register(ctor func() *Model, aliases ...string) error {
+	m := ctor()
+	if m == nil {
+		return fmt.Errorf("model: Register: constructor returned nil")
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("model: Register %q: %w", m.Name, err)
+	}
+	keys := append([]string{m.Name}, aliases...)
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, k := range keys {
+		if k == "" {
+			return fmt.Errorf("model: Register %q: empty name or alias", m.Name)
+		}
+		if strings.Contains(k, "/") {
+			return fmt.Errorf("model: Register %q: name %q contains '/', reserved for derived models", m.Name, k)
+		}
+		lk := strings.ToLower(k)
+		if prev, dup := reg.byKey[lk]; dup {
+			return fmt.Errorf("model: Register %q: name %q already registered (by %q)", m.Name, k, prev.canonical)
+		}
+	}
+	for _, k := range keys {
+		reg.byKey[strings.ToLower(k)] = regEntry{canonical: m.Name, ctor: ctor}
+	}
+	reg.names = nil
+	return nil
+}
+
+// mustRegister is the init-time form of Register for built-in profiles.
+func mustRegister(ctor func() *Model, aliases ...string) {
+	if err := Register(ctor, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a profile name (case-insensitively) to a freshly
+// constructed, validated model. Unknown names return an error listing every
+// registered profile, so a typo in a scenario or CLI flag fails fast instead
+// of surfacing as a nil dereference three layers down.
+func Lookup(name string) (*Model, error) {
+	reg.mu.RLock()
+	e, ok := reg.byKey[strings.ToLower(name)]
+	reg.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("model: unknown profile %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	m := e.ctor()
+	if err := m.Validate(); err != nil {
+		// Registration validated the template; a failure here means the
+		// constructor is non-deterministic, which is a programming error.
+		return nil, fmt.Errorf("model: profile %q invalid on construction: %w", e.canonical, err)
+	}
+	return m, nil
+}
+
+// Names returns the canonical names of all registered profiles, sorted.
+// Aliases are not listed.
+func Names() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.names == nil {
+		seen := map[string]bool{}
+		for _, e := range reg.byKey {
+			if !seen[e.canonical] {
+				seen[e.canonical] = true
+				reg.names = append(reg.names, e.canonical)
+			}
+		}
+		sort.Strings(reg.names)
+	}
+	return append([]string(nil), reg.names...)
+}

@@ -26,8 +26,14 @@ import (
 // under which controller stack. The zero value of every field selects the
 // same default the npsim CLI uses, so {"mix":"60L"} is a valid job.
 type JobSpec struct {
-	// Model names the hardware calibration ("BladeA" or "ServerB").
+	// Model names the hardware calibration from the host-profile registry
+	// (model.Names() lists them; "BladeA" is the default).
 	Model string `json:"model,omitempty"`
+	// Profiles, when set, runs a heterogeneous fleet instead of Model: a
+	// model.Distribution spec like "bladea:3,rack-2u-32:1" expanded
+	// deterministically over the fleet. Mutually exclusive with a non-default
+	// Model.
+	Profiles string `json:"profiles,omitempty"`
 	// Mix names the workload mix (180, 60L, 60M, 60H, 60HH, 60HHH, scaleN).
 	Mix string `json:"mix,omitempty"`
 	// Stack names the controller stack preset (core.StackNames).
@@ -61,8 +67,16 @@ type JobSpec struct {
 // the cache key and the run are both derived from — two specs that differ
 // only in spelled-out defaults deduplicate to one computation.
 func (s JobSpec) Normalized() JobSpec {
-	if s.Model == "" {
+	if s.Model == "" && s.Profiles == "" {
 		s.Model = "BladeA"
+	}
+	if s.Profiles != "" {
+		// Canonicalize the distribution spelling so equivalent fleets (case,
+		// aliases, implicit :1 weights) share one cache key. Invalid specs
+		// pass through untouched for Validate to reject.
+		if d, err := model.ParseDistribution(s.Profiles); err == nil {
+			s.Profiles = d.String()
+		}
 	}
 	if s.Mix == "" {
 		s.Mix = string(tracegen.Mix180)
@@ -98,8 +112,15 @@ func (s JobSpec) Normalized() JobSpec {
 // submit instead of parking a doomed job in the queue.
 func (s JobSpec) Validate() error {
 	s = s.Normalized()
-	if model.ByName(s.Model) == nil {
-		return fmt.Errorf("serve: unknown model %q", s.Model)
+	if s.Profiles != "" {
+		if s.Model != "" {
+			return fmt.Errorf("serve: model %q and profiles %q are mutually exclusive", s.Model, s.Profiles)
+		}
+		if _, err := model.ParseDistribution(s.Profiles); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+	} else if _, err := model.Lookup(s.Model); err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	if _, err := core.SpecByName(s.Stack); err != nil {
 		return fmt.Errorf("serve: %w", err)
@@ -136,6 +157,7 @@ func (s JobSpec) Scenario() experiments.Scenario {
 	s = s.Normalized()
 	return experiments.Scenario{
 		Model:          s.Model,
+		Profiles:       s.Profiles,
 		Mix:            tracegen.Mix(s.Mix),
 		Budgets:        experiments.Budgets{Grp: s.CapGrp, Enc: s.CapEnc, Loc: s.CapLoc},
 		Ticks:          s.Ticks,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -492,5 +493,36 @@ func TestKeyCanonicalization(t *testing.T) {
 	}
 	if fmt.Sprintf("%x", "") == base {
 		t.Error("key is not a hash")
+	}
+}
+
+// TestSpecProfiles pins the heterogeneous-fleet wire form: a distribution
+// spec validates through the registry, typos surface the known-name list,
+// and alias spellings canonicalize to one cache key.
+func TestSpecProfiles(t *testing.T) {
+	good := JobSpec{Profiles: "bladea:3,rack-2u-32:1", Mix: "60L", Ticks: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profiles spec rejected: %v", err)
+	}
+	if sc := good.Scenario(); sc.Profiles == "" || sc.Model != "" {
+		t.Fatalf("scenario mapping lost the distribution: %+v", sc)
+	}
+	bad := JobSpec{Profiles: "bladea:1,typo-profile:2"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown profile accepted")
+	} else if !strings.Contains(err.Error(), "BladeA") {
+		t.Errorf("error should list known profiles, got: %v", err)
+	}
+	both := JobSpec{Model: "ServerB", Profiles: "bladea:1"}
+	if err := both.Validate(); err == nil {
+		t.Fatal("model+profiles accepted")
+	}
+	a := JobSpec{Profiles: "blade-a:3,rack-2u-32:1"}.Key()
+	b := JobSpec{Profiles: "BladeA:3,Rack2U32:1"}.Key()
+	if a != b {
+		t.Error("alias spellings of one fleet should share a cache key")
+	}
+	if a == (JobSpec{}.Key()) {
+		t.Error("heterogeneous spec must not collide with the default key")
 	}
 }

@@ -275,6 +275,15 @@ const MixAIBurst Mix = "aiburst"
 // AIBurstMix names an AI-training mix of n synchronized workloads.
 func AIBurstMix(n int) Mix { return Mix(fmt.Sprintf("aiburst%d", n)) }
 
+// MixHetero is the canonical 60-trace heterogeneous-fleet mix: a utilization
+// spread wider than Mix180 (half low, a medium tier, and a stacked-high
+// tail) so a mixed-hardware fleet sees both consolidation pressure and DVFS
+// headroom in one run. Pair it with Scenario.Profiles.
+const MixHetero Mix = "hetero"
+
+// HeteroMix names a heterogeneous-fleet mix of n workloads.
+func HeteroMix(n int) Mix { return Mix(fmt.Sprintf("hetero%d", n)) }
+
 // scaleMixSize parses a ScaleMix name; ok is false for the canonical mixes.
 func scaleMixSize(mix Mix) (n int, ok bool) {
 	return sizedMix(mix, "scale%d")
@@ -283,6 +292,11 @@ func scaleMixSize(mix Mix) (n int, ok bool) {
 // aiBurstMixSize parses an AIBurstMix name (not the bare "aiburst").
 func aiBurstMixSize(mix Mix) (n int, ok bool) {
 	return sizedMix(mix, "aiburst%d")
+}
+
+// heteroMixSize parses a HeteroMix name (not the bare "hetero").
+func heteroMixSize(mix Mix) (n int, ok bool) {
+	return sizedMix(mix, "hetero%d")
 }
 
 // sizedMix parses a "<prefix><n>" mix name against its format string.
@@ -333,6 +347,12 @@ func BuildMix(mix Mix, ticks int, seed int64) (*trace.Set, error) {
 		set, err := GenerateAIBurst(60, Params{Ticks: ticks, Seed: seed})
 		return named(mix, set, err)
 	}
+	if mix == MixHetero {
+		return buildHetero(mix, 60, ticks, seed)
+	}
+	if n, ok := heteroMixSize(mix); ok {
+		return buildHetero(mix, n, ticks, seed)
+	}
 	if n, ok := aiBurstMixSize(mix); ok {
 		set, err := GenerateAIBurst(n, Params{Ticks: ticks, Seed: seed})
 		return named(mix, set, err)
@@ -361,6 +381,40 @@ func BuildMix(mix Mix, ticks int, seed int64) (*trace.Set, error) {
 		return set, nil
 	}
 	return nil, fmt.Errorf("tracegen: unknown mix %q", mix)
+}
+
+// buildHetero blends three utilization tiers — n/2 low (0.55), 3n/10 medium
+// (0.95), the rest stacked-high (x2 at 0.85, the 60HH construction) — with
+// tier-split seeds like Mix180. The wide spread is deliberate: on a mixed
+// fleet the low tier exercises consolidation onto the efficient boxes while
+// the stacked tail keeps the big machines in their DVFS band.
+func buildHetero(mix Mix, n, ticks int, seed int64) (*trace.Set, error) {
+	nLo := n / 2
+	nMid := 3 * n / 10
+	nHi := n - nLo - nMid
+	set := &trace.Set{Name: string(mix)}
+	for _, tier := range []struct {
+		count int
+		p     Params
+	}{
+		{nLo, Params{Ticks: ticks, Seed: seed, Level: 0.55}},
+		{nMid, Params{Ticks: ticks, Seed: seed + 1, Level: 0.95}},
+		{nHi, Params{Ticks: ticks, Seed: seed + 2, Level: 0.85, Stack: 2}},
+	} {
+		if tier.count <= 0 {
+			continue
+		}
+		part, err := Generate(tier.count, tier.p)
+		if err != nil {
+			return nil, err
+		}
+		set.Traces = append(set.Traces, part.Traces...)
+	}
+	if len(set.Traces) == 0 {
+		return nil, fmt.Errorf("tracegen: hetero mix %q is empty", mix)
+	}
+	renumber(set)
+	return set, nil
 }
 
 func named(mix Mix, set *trace.Set, err error) (*trace.Set, error) {

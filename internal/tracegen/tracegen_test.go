@@ -156,6 +156,48 @@ func TestMixSizes(t *testing.T) {
 	}
 }
 
+func TestHeteroMixSizesAndDeterminism(t *testing.T) {
+	set, err := BuildMix(MixHetero, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 60 {
+		t.Fatalf("hetero has %d traces, want 60", set.Len())
+	}
+	for _, n := range []int{10, 90} {
+		sized, err := BuildMix(HeteroMix(n), 120, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sized.Len() != n {
+			t.Fatalf("hetero%d has %d traces", n, sized.Len())
+		}
+	}
+	again, err := BuildMix(MixHetero, 120, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Traces {
+		a, b := set.Traces[i], again.Traces[i]
+		for k := range a.Demand {
+			if a.Demand[k] != b.Demand[k] {
+				t.Fatalf("trace %d tick %d not reproducible", i, k)
+			}
+		}
+	}
+	// The stacked-high tail must actually be hotter than the low tier.
+	mean := func(i int) float64 {
+		s := 0.0
+		for _, d := range set.Traces[i].Demand {
+			s += d
+		}
+		return s / float64(len(set.Traces[i].Demand))
+	}
+	if lo, hi := mean(0), mean(set.Len()-1); hi <= lo {
+		t.Errorf("high tier mean %v not above low tier %v", hi, lo)
+	}
+}
+
 func TestNamesUniqueWithinMix(t *testing.T) {
 	set, _ := BuildMix(Mix180, 100, 3)
 	seen := map[string]bool{}
